@@ -1,0 +1,573 @@
+// Package baselines implements the LLM inference systems ExeGPT is
+// compared against (§2, §7): FasterTransformer (FT), DeepSpeed Inference
+// (DSI), ORCA, and vLLM. All run over the same simulated cluster and
+// profile tables as XRunner, differing only in scheduling discipline:
+//
+//   - FT: fixed batches, no early termination — every query in a batch
+//     pays decode iterations until the batch's longest query finishes;
+//     worst-case KV reservation.
+//   - DSI: FT plus hybrid micro-batching (more encode micro-batches,
+//     fewer decode micro-batches) and custom small-batch GeMM kernels.
+//   - ORCA: iteration-level scheduling — completed queries are replaced
+//     by encoding new ones inside the running decode batch, which keeps
+//     batches full but injects prefill work into decode iterations
+//     (pipeline bubbles, variable latency).
+//   - vLLM: ORCA-style iteration-level scheduling restricted to one
+//     prefill per iteration, paged KV cache (larger feasible batches),
+//     and a per-iteration CPU/executor overhead that is not masked by
+//     GPU kernels (§7.2).
+//
+// The parallel configuration follows the papers' methodology: tensor
+// parallelism is maximized across the GPUs of one machine and pipeline
+// parallelism spans machines (§7.1).
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"exegpt/internal/hw"
+	"exegpt/internal/kvcache"
+	"exegpt/internal/metrics"
+	"exegpt/internal/model"
+	"exegpt/internal/profile"
+	"exegpt/internal/sched"
+	"exegpt/internal/workload"
+)
+
+// System identifies a baseline engine.
+type System int
+
+// Baseline systems.
+const (
+	FT System = iota
+	DSI
+	ORCA
+	VLLM
+)
+
+// String implements fmt.Stringer.
+func (s System) String() string {
+	switch s {
+	case FT:
+		return "FasterTransformer"
+	case DSI:
+		return "DeepSpeed-Inference"
+	case ORCA:
+		return "ORCA"
+	case VLLM:
+		return "vLLM"
+	}
+	return fmt.Sprintf("System(%d)", int(s))
+}
+
+// vllmIterOverhead is the per-iteration executor overhead of vLLM's
+// Python engine that GPU kernels do not mask (§7.2).
+const vllmIterOverhead = 15e-3
+
+// dsiSmallBatchBoost is DSI's custom-GeMM speedup on small decode
+// batches.
+const dsiSmallBatchBoost = 0.92
+
+// vllmKernelFactor models the gap between vLLM's (and thus the paper's
+// ORCA proxy's) unfused Python-driven kernels and FT's hand-fused CUDA
+// kernels (§7.2: "certain execution overhead that is not masked by GPU
+// kernels degrades its performance").
+const vllmKernelFactor = 1.3
+
+// Engine runs one baseline system on a deployment.
+type Engine struct {
+	System  System
+	Model   model.Model
+	Cluster hw.Cluster
+	Prof    *profile.Table
+
+	// tp and stages cache the derived parallel configuration.
+	tp     int
+	stages []sched.Stage
+}
+
+// New builds a baseline engine with the papers' parallel configuration:
+// TP = min(GPUs per node, total GPUs, max profiled degree), PP = rest.
+func New(system System, m model.Model, cluster hw.Cluster, prof *profile.Table) (*Engine, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if prof == nil {
+		return nil, fmt.Errorf("baselines: nil profile")
+	}
+	n := cluster.TotalGPUs()
+	tp := 1
+	for _, d := range prof.TPDegrees {
+		if d <= cluster.GPUsPerNode && d <= n && d > tp {
+			tp = d
+		}
+	}
+	e := &Engine{System: system, Model: m, Cluster: cluster, Prof: prof, tp: tp}
+	alloc, err := sched.AllocateRRA(m, cluster, sched.TPSpec{Degree: tp, GPUs: (n / tp) * tp})
+	if err != nil {
+		return nil, err
+	}
+	e.stages = alloc.Stages
+	return e, nil
+}
+
+// TP returns the tensor-parallel degree in use.
+func (e *Engine) TP() int { return e.tp }
+
+// PPStages returns the pipeline depth.
+func (e *Engine) PPStages() int { return len(e.stages) }
+
+func linkClass(s sched.Stage) profile.LinkClass {
+	if s.CrossNode {
+		return profile.InterNode
+	}
+	return profile.IntraNode
+}
+
+func (e *Engine) ppClass(from sched.Stage) profile.LinkClass {
+	last := from.FirstRank + from.TP - 1
+	next := (last + 1) % e.Cluster.TotalGPUs()
+	if e.Cluster.NodeOf(last) != e.Cluster.NodeOf(next) {
+		return profile.InterNode
+	}
+	return profile.IntraNode
+}
+
+// encTime returns the pipelined encode time of a batch with the given
+// total prompt tokens, using microBatches encode micro-batches.
+func (e *Engine) encTime(tokens int, meanSeq float64, microBatches int) (float64, error) {
+	if microBatches < 1 {
+		microBatches = 1
+	}
+	perMicro := tokens / microBatches
+	if perMicro < 1 {
+		perMicro = 1
+	}
+	var sum, max float64
+	for _, st := range e.stages {
+		layer, err := e.Prof.EncodeLayer(perMicro, meanSeq, st.TP, linkClass(st))
+		if err != nil {
+			return 0, err
+		}
+		if e.System == ORCA || e.System == VLLM {
+			layer *= vllmKernelFactor
+		}
+		send, err := e.Prof.PPSend(perMicro, e.ppClass(st))
+		if err != nil {
+			return 0, err
+		}
+		t := float64(st.EncLayers)*layer + send
+		sum += t
+		if t > max {
+			max = t
+		}
+	}
+	if p := float64(microBatches) * max; p > sum {
+		return p, nil
+	}
+	return sum, nil
+}
+
+// decIterTime returns one decode-iteration period for the batch, with
+// microBatches decode micro-batches.
+func (e *Engine) decIterTime(batch int, ctx float64, microBatches int) (float64, error) {
+	if microBatches < 1 {
+		microBatches = 1
+	}
+	per := batch / microBatches
+	if per < 1 {
+		per = 1
+	}
+	var sum, max float64
+	for _, st := range e.stages {
+		layer, err := e.Prof.DecodeLayer(per, ctx, st.TP, linkClass(st))
+		if err != nil {
+			return 0, err
+		}
+		if e.System == DSI && per < 32 {
+			layer *= dsiSmallBatchBoost
+		}
+		if e.System == ORCA || e.System == VLLM {
+			layer *= vllmKernelFactor
+		}
+		send, err := e.Prof.PPSend(per, e.ppClass(st))
+		if err != nil {
+			return 0, err
+		}
+		t := float64(st.DecLayers)*layer + send
+		sum += t
+		if t > max {
+			max = t
+		}
+	}
+	period := sum
+	if p := float64(microBatches) * max; p > period {
+		period = p
+	}
+	// ORCA is proprietary; the paper evaluates it through vLLM's
+	// iteration-level scheduling mode (§7.1), so both carry the vLLM
+	// executor overhead.
+	if e.System == VLLM || e.System == ORCA {
+		period += vllmIterOverhead
+	}
+	return period, nil
+}
+
+// microBatchesFor returns the encode/decode micro-batch counts per
+// system: FT and ORCA use two; DSI uses more for encoding and fewer for
+// decoding (§2); vLLM's executor issues a single batch.
+func (e *Engine) microBatchesFor() (enc, dec int) {
+	switch e.System {
+	case DSI:
+		return 4, 2
+	case VLLM:
+		return 1, 1
+	default:
+		return 2, 2
+	}
+}
+
+// kvManager builds the per-GPU KV manager appropriate to the system:
+// vLLM pages; FT/DSI reserve worst case; ORCA allocates exactly.
+func (e *Engine) kvManager(mem *hw.MemTracker, perToken int64) kvcache.Manager {
+	switch e.System {
+	case VLLM:
+		return kvcache.NewPaged(mem, perToken, 16)
+	case ORCA:
+		return kvcache.NewCompacting(mem, perToken)
+	default:
+		return kvcache.NewReserved(mem, perToken)
+	}
+}
+
+// maxStageMem returns the weight bytes of the most loaded stage GPU and
+// its per-token KV cost.
+func (e *Engine) maxStageMem() (weights int64, perToken int64) {
+	for _, st := range e.stages {
+		w := sched.WeightBytesPerGPU(e.Model, st)
+		if w > weights {
+			weights = w
+			perToken = e.Model.KVBytesPerTokenLayer() * int64(st.DecLayers) / int64(st.TP)
+		}
+	}
+	return weights, perToken
+}
+
+// Run executes the request stream with the given (fixed) batch size and
+// returns run statistics. maxOut is the worst-case output length used
+// for FT/DSI KV reservation and fixed-iteration decoding.
+func (e *Engine) Run(batch int, reqs []workload.Request, maxOut int) (Result, error) {
+	if batch < 1 {
+		return Result{}, fmt.Errorf("baselines: batch must be >= 1")
+	}
+	if len(reqs) == 0 {
+		return Result{}, fmt.Errorf("baselines: no requests")
+	}
+	switch e.System {
+	case FT, DSI:
+		return e.runFixedBatch(batch, reqs, maxOut)
+	case ORCA, VLLM:
+		return e.runIterationLevel(batch, reqs)
+	}
+	return Result{}, fmt.Errorf("baselines: unknown system %v", e.System)
+}
+
+// Result is a baseline execution summary.
+type Result struct {
+	Stats      metrics.RunStats
+	PeakMem    int64
+	Iterations int
+}
+
+// runFixedBatch implements FT/DSI: take a batch, encode it, decode with
+// the full batch cost until every query in the batch reaches its output
+// length (no early termination), repeat.
+func (e *Engine) runFixedBatch(batch int, reqs []workload.Request, maxOut int) (Result, error) {
+	encMB, decMB := e.microBatchesFor()
+	weights, perToken := e.maxStageMem()
+	mem := hw.NewMemTracker(e.Cluster.GPU.MemoryBytes)
+	if err := mem.Alloc(weights); err != nil {
+		return Result{}, fmt.Errorf("baselines: weights do not fit: %w", err)
+	}
+	kv := e.kvManager(mem, perToken)
+	rec := metrics.NewRecorder()
+	res := Result{}
+	now := 0.0
+	var ends []float64
+
+	for start := 0; start < len(reqs); start += batch {
+		end := start + batch
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		cur := reqs[start:end]
+		tokens, longest := 0, 0
+		meanIn := 0.0
+		for _, r := range cur {
+			tokens += r.InLen
+			if r.OutLen > longest {
+				longest = r.OutLen
+			}
+			meanIn += float64(r.InLen)
+			if err := kv.Admit(r.ID, r.InLen, r.InLen+maxOut); err != nil {
+				return Result{}, fmt.Errorf("baselines: %v batch %d does not fit: %w", e.System, batch, err)
+			}
+		}
+		meanIn /= float64(len(cur))
+		encT, err := e.encTime(tokens, meanIn, encMB)
+		if err != nil {
+			return Result{}, err
+		}
+		batchStart := now
+		now += encT
+		// Decode: the batch stays at full size for `longest` iterations
+		// (white boxes in Figure 1: completed queries keep computing).
+		for it := 0; it < longest; it++ {
+			// Combined self+cross context per query.
+			ctx := meanIn + float64(it) + 1
+			dt, err := e.decIterTime(len(cur), ctx, decMB)
+			if err != nil {
+				return Result{}, err
+			}
+			now += dt
+			res.Iterations++
+			for _, r := range cur {
+				if r.OutLen == it+1 {
+					// The query's tokens are ready, but without early
+					// termination its latency runs to its own completion
+					// iteration; it keeps occupying compute until the
+					// batch ends.
+					rec.Add(now - batchStart)
+					ends = append(ends, now)
+				}
+			}
+		}
+		for _, r := range cur {
+			if err := kv.Release(r.ID); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	res.Stats = metrics.Summarize(rec, now)
+	res.Stats.SteadyTput = metrics.SteadyThroughput(ends)
+	res.PeakMem = mem.Peak()
+	return res, nil
+}
+
+// runIterationLevel implements ORCA/vLLM: a running batch of up to
+// `batch` slots; each iteration first admits new queries (whose prefill
+// executes inside the iteration), then decodes one token for every
+// active query, early-terminating completed ones.
+func (e *Engine) runIterationLevel(batch int, reqs []workload.Request) (Result, error) {
+	_, decMB := e.microBatchesFor()
+	weights, perToken := e.maxStageMem()
+	mem := hw.NewMemTracker(e.Cluster.GPU.MemoryBytes)
+	if err := mem.Alloc(weights); err != nil {
+		return Result{}, fmt.Errorf("baselines: weights do not fit: %w", err)
+	}
+	kv := e.kvManager(mem, perToken)
+	rec := metrics.NewRecorder()
+	res := Result{}
+	now := 0.0
+	var ends []float64
+
+	type slot struct {
+		req   workload.Request
+		start float64
+		pos   int
+	}
+	var active []*slot
+	pending := append([]workload.Request(nil), reqs...)
+	compactor, _ := kv.(*kvcache.Compacting)
+
+	for len(pending) > 0 || len(active) > 0 {
+		// Admission: ORCA fills every free slot; vLLM admits at most one
+		// prefill per iteration (its iteration-level mode, §7.1).
+		admitCap := batch - len(active)
+		if e.System == VLLM && admitCap > 1 {
+			admitCap = 1
+		}
+		prefillTokens := 0
+		var meanNewIn float64
+		admitted := 0
+		for admitted < admitCap && len(pending) > 0 {
+			r := pending[0]
+			if err := kv.Admit(r.ID, r.InLen, r.InLen+r.OutLen); err != nil {
+				if len(active) == 0 && admitted == 0 {
+					return Result{}, fmt.Errorf("baselines: %v query %d does not fit: %w", e.System, r.ID, err)
+				}
+				break
+			}
+			pending = pending[1:]
+			active = append(active, &slot{req: r, start: now})
+			prefillTokens += r.InLen
+			meanNewIn += float64(r.InLen)
+			admitted++
+		}
+		if admitted > 0 {
+			meanNewIn /= float64(admitted)
+		}
+
+		// Iteration cost: prefill of the admitted queries plus one
+		// decode step of the whole batch. Mixing the two in one
+		// iteration is exactly what creates ORCA's pipeline bubbles and
+		// variable latency (§2).
+		var iterT float64
+		if prefillTokens > 0 {
+			encT, err := e.encTime(prefillTokens, meanNewIn, 1)
+			if err != nil {
+				return Result{}, err
+			}
+			iterT += encT
+		}
+		ctx := 0.0
+		for _, s := range active {
+			ctx += float64(e.Model.ContextLen(s.req.InLen, s.pos))
+		}
+		if len(active) > 0 {
+			ctx /= float64(len(active))
+			dt, err := e.decIterTime(len(active), ctx, decMB)
+			if err != nil {
+				return Result{}, err
+			}
+			iterT += dt
+		}
+		now += iterT
+		res.Iterations++
+
+		survivors := active[:0]
+		for _, s := range active {
+			s.pos++
+			if s.pos >= s.req.OutLen {
+				if err := kv.Release(s.req.ID); err != nil {
+					return Result{}, err
+				}
+				rec.Add(now - s.start)
+				ends = append(ends, now)
+			} else {
+				if err := kv.Append(s.req.ID); err != nil {
+					return Result{}, fmt.Errorf("baselines: %v decode OOM: %w", e.System, err)
+				}
+				survivors = append(survivors, s)
+			}
+		}
+		active = survivors
+		if compactor != nil {
+			compactor.Compact()
+		}
+	}
+	res.Stats = metrics.Summarize(rec, now)
+	res.Stats.SteadyTput = metrics.SteadyThroughput(ends)
+	res.PeakMem = mem.Peak()
+	return res, nil
+}
+
+// LatencyForBound returns the latency metric each system is held to
+// when selecting a batch under a latency bound (§7.1): FT and DSI are
+// bound on generating a maximum-length output; ORCA/vLLM on the
+// 99th-percentile length. For iteration-level systems the bound
+// includes the expected prefill work injected into each iteration as
+// completed queries are replaced — the effect that "increases overall
+// latency, making it hard to meet latency bounds" (§7.2). meanOut is
+// the workload mean output length used for that replacement rate.
+func (e *Engine) LatencyForBound(batch int, meanIn, meanOut float64, boundLen int) (float64, error) {
+	encMB, decMB := e.microBatchesFor()
+	encT, err := e.encTime(int(float64(batch)*meanIn), meanIn, encMB)
+	if err != nil {
+		return 0, err
+	}
+	var prefillPerIter float64
+	if e.System == ORCA || e.System == VLLM {
+		// Initial prefill happens one query at a time inside iterations;
+		// steady state replaces batch/meanOut queries per iteration.
+		replacements := float64(batch) / math.Max(meanOut, 1)
+		if e.System == VLLM && replacements > 1 {
+			replacements = 1
+		}
+		one, err := e.encTime(int(replacements*meanIn), meanIn, 1)
+		if err != nil {
+			return 0, err
+		}
+		prefillPerIter = one
+		encT = 0 // no separate up-front encoding phase
+	}
+	total := encT
+	for it := 0; it < boundLen; it++ {
+		dt, err := e.decIterTime(batch, meanIn+float64(it)+1, decMB)
+		if err != nil {
+			return 0, err
+		}
+		total += dt + prefillPerIter
+	}
+	return total, nil
+}
+
+// MaxFeasibleBatch returns the largest batch (multiple of four, §7.1)
+// whose KV requirement fits in memory, capped at cap.
+func (e *Engine) MaxFeasibleBatch(meanIn float64, maxOut int, cap int) int {
+	weights, perToken := e.maxStageMem()
+	avail := e.Cluster.GPU.MemoryBytes - weights
+	if avail <= 0 || perToken <= 0 {
+		return 0
+	}
+	perQuery := (int64(meanIn) + int64(maxOut)) * perToken
+	b := int(avail / perQuery)
+	b -= b % 4
+	if b < 4 {
+		b = 0
+	}
+	if cap > 0 && b > cap {
+		b = cap
+	}
+	return b
+}
+
+// PickBatch selects the largest batch in multiples of four whose
+// bound-latency fits under lbound (§7.1 methodology). It returns 0 when
+// even batch 4 misses the bound.
+func (e *Engine) PickBatch(lbound float64, meanIn, meanOut float64, boundLen, maxOut int) (int, error) {
+	maxB := e.MaxFeasibleBatch(meanIn, maxOut, 512)
+	if maxB == 0 {
+		return 0, nil
+	}
+	if math.IsInf(lbound, 1) {
+		return maxB, nil
+	}
+	// Latency is monotone in batch: binary search over multiples of 4.
+	lo, hi := 0, maxB/4 // lo=0 means none feasible
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		lat, err := e.LatencyForBound(mid*4, meanIn, meanOut, boundLen)
+		if err != nil {
+			return 0, err
+		}
+		if lat < lbound {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo * 4, nil
+}
+
+// LatencySweep returns the bound-latency at every feasible batch size in
+// multiples of four — the sweep the paper uses to select its latency
+// bounds (bottom 10%/30%/70% and infinity, §7.1).
+func (e *Engine) LatencySweep(meanIn, meanOut float64, boundLen, maxOut int) ([]float64, error) {
+	maxB := e.MaxFeasibleBatch(meanIn, maxOut, 512)
+	var lats []float64
+	for b := 4; b <= maxB; b += 4 {
+		lat, err := e.LatencyForBound(b, meanIn, meanOut, boundLen)
+		if err != nil {
+			return nil, err
+		}
+		lats = append(lats, lat)
+	}
+	sort.Float64s(lats)
+	return lats, nil
+}

@@ -1,0 +1,137 @@
+// Monotonicity evaluation (§7.8, Table 5): sweep each control variable
+// over its range while holding the others fixed, for all combinations of
+// the other variables, and report the fraction of points where
+// throughput or latency violates monotonicity beyond a tolerance.
+package core
+
+import (
+	"fmt"
+
+	"exegpt/internal/sched"
+)
+
+// MonoReport is the non-monotonicity fraction for one control variable.
+type MonoReport struct {
+	Policy   sched.Policy
+	Variable string
+	// LatencyViol and TputViol are fractions (0..1) of swept points that
+	// violate monotonic ordering by more than the tolerance.
+	LatencyViol, TputViol float64
+	Points                int
+}
+
+// SweepSpec defines one Table 5 sweep: the variable under test and the
+// combinations of the frozen variables.
+type SweepSpec struct {
+	Policy   sched.Policy
+	Variable string
+	// Values of the swept variable in increasing tput/latency
+	// orientation.
+	Values []int
+	// Combos enumerates the frozen-variable settings.
+	Combos []sched.Config
+}
+
+// EvaluateMonotonicity measures, for the given sweep, the fraction of
+// adjacent point pairs where latency or throughput decreases by more
+// than tol (relative) even though the oriented variable increased.
+func (s *Scheduler) EvaluateMonotonicity(spec SweepSpec, tol float64) (MonoReport, error) {
+	latViol, tputViol, points := 0, 0, 0
+	for _, base := range spec.Combos {
+		prevLat, prevTput := -1.0, -1.0
+		havePrev := false
+		for _, v := range spec.Values {
+			cfg := base
+			switch spec.Variable {
+			case "BE":
+				cfg.BE = v
+			case "BD":
+				cfg.BD = v
+			case "ND":
+				cfg.ND = v
+			case "Bm":
+				cfg.Bm = v
+			case "TP":
+				cfg.TP.GPUs = v
+			default:
+				return MonoReport{}, fmt.Errorf("core: unknown sweep variable %q", spec.Variable)
+			}
+			est, err := s.Sim.Estimate(cfg)
+			if err != nil {
+				return MonoReport{}, err
+			}
+			if !est.Feasible {
+				havePrev = false
+				continue
+			}
+			if havePrev {
+				points++
+				if est.Latency < prevLat*(1-tol) {
+					latViol++
+				}
+				if est.Throughput < prevTput*(1-tol) {
+					tputViol++
+				}
+			}
+			prevLat, prevTput = est.Latency, est.Throughput
+			havePrev = true
+		}
+	}
+	rep := MonoReport{Policy: spec.Policy, Variable: spec.Variable, Points: points}
+	if points > 0 {
+		rep.LatencyViol = float64(latViol) / float64(points)
+		rep.TputViol = float64(tputViol) / float64(points)
+	}
+	return rep, nil
+}
+
+// Table5Sweeps builds the paper's Table 5 sweeps for the simulator's
+// model/cluster: RRA's B_E (via B_D) and N_D; WAA's B_E, TP and B_m.
+// Orientation follows §4.2 (each variable increases tput and latency).
+func (s *Scheduler) Table5Sweeps() []SweepSpec {
+	n := s.Sim.Cluster.TotalGPUs()
+	batchVals := []int{4, 8, 16, 32, 64, 128, 256, 512}
+	ndValsDesc := []int{32, 24, 16, 12, 8, 6, 4, 2, 1} // decreasing ND
+	bmValsDesc := []int{8, 6, 4, 3, 2, 1}              // decreasing Bm
+	var tpVals []int
+	for g := n; g >= 2; g -= 2 { // decreasing TP GPU count
+		tpVals = append(tpVals, g)
+	}
+
+	rraCombos := func() []sched.Config {
+		var out []sched.Config
+		nds := []int{4, 8, 16}
+		bds := []int{32, 128, 512}
+		for _, nd := range nds {
+			for _, bd := range bds {
+				c := sched.Config{Policy: sched.RRA, BD: bd, BE: 1, ND: nd, TP: sched.TPSpec{Degree: 1}}
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	waaCombos := func() []sched.Config {
+		var out []sched.Config
+		for _, be := range []int{1, 2, 4, 8} {
+			for _, bm := range []int{1, 2, 4} {
+				out = append(out, sched.Config{Policy: sched.WAAM, BE: be, BD: 1, Bm: bm, TP: sched.TPSpec{Degree: 1}})
+			}
+		}
+		return out
+	}
+	waaTPCombos := func() []sched.Config {
+		var out []sched.Config
+		for _, be := range []int{2, 8} {
+			out = append(out, sched.Config{Policy: sched.WAAM, BE: be, BD: 1, Bm: 2, TP: sched.TPSpec{Degree: 2, GPUs: 2}})
+		}
+		return out
+	}
+
+	return []SweepSpec{
+		{Policy: sched.RRA, Variable: "BD", Values: batchVals, Combos: rraCombos()},
+		{Policy: sched.RRA, Variable: "ND", Values: ndValsDesc, Combos: rraCombos()},
+		{Policy: sched.WAAM, Variable: "BE", Values: batchVals[:6], Combos: waaCombos()},
+		{Policy: sched.WAAM, Variable: "TP", Values: tpVals, Combos: waaTPCombos()},
+		{Policy: sched.WAAM, Variable: "Bm", Values: bmValsDesc, Combos: waaCombos()},
+	}
+}

@@ -1,0 +1,456 @@
+// XScheduler: the constraint-aware scheduling algorithm of §5.
+//
+// The optimization problem is
+//
+//	arg max Throughput(B_E, B_D, B_m, TP, F_E, S)
+//	s.t.    Latency(...) < LBound
+//
+// and is monotonic: every control variable is oriented so that
+// increasing it increases both throughput and latency (§5, §4.2). The
+// search runs Algorithm 1 (branch-and-bound over two-dimensional blocks
+// with corner-based pruning) per scheduling policy and per tensor-
+// parallel configuration, then returns the best feasible schedule.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"exegpt/internal/sched"
+)
+
+// Axis is one oriented control variable: index i in [0, Size) maps to a
+// concrete value such that increasing i increases both throughput and
+// latency.
+type Axis struct {
+	Name string
+	// Values in orientation order.
+	Values []int
+}
+
+// Size returns the number of grid points.
+func (a Axis) Size() int { return len(a.Values) }
+
+// batchAxis returns a geometric batch grid 1..max (throughput and
+// latency both increase with batch size).
+func batchAxis(name string, max int) Axis {
+	var vals []int
+	for v := 1; v < max; {
+		vals = append(vals, v)
+		step := v / 4
+		if step < 1 {
+			step = 1
+		}
+		v += step
+	}
+	vals = append(vals, max)
+	return Axis{Name: name, Values: vals}
+}
+
+// ndAxis returns the RRA encoding-frequency axis: decreasing ND
+// increases both throughput and latency (§4.1), so values are ordered
+// from large ND to small.
+func ndAxis(max int) Axis {
+	var vals []int
+	for v := 1; v < max; {
+		vals = append(vals, v)
+		step := v / 3
+		if step < 1 {
+			step = 1
+		}
+		v += step
+	}
+	vals = append(vals, max)
+	// Reverse: index 0 = largest ND (lowest tput, lowest latency).
+	for i, j := 0, len(vals)-1; i < j; i, j = i+1, j-1 {
+		vals[i], vals[j] = vals[j], vals[i]
+	}
+	return Axis{Name: "ND", Values: vals}
+}
+
+// bmAxis returns the WAA decoder micro-batch axis: more micro-batches
+// reduce latency and throughput (§4.2), so values run from many to few.
+func bmAxis(max int) Axis {
+	vals := make([]int, 0, max)
+	for v := max; v >= 1; v-- {
+		vals = append(vals, v)
+	}
+	return Axis{Name: "Bm", Values: vals}
+}
+
+// perf is the (latency, throughput) of one grid point, Algorithm 1's
+// perf().
+type perf struct {
+	lat, tput float64
+	est       Estimate
+}
+
+// Scheduler is XScheduler.
+type Scheduler struct {
+	Sim *Simulator
+	// TolT and TolL are the throughput/latency tolerances of
+	// Algorithm 1; they absorb small non-monotonicities (§5.1).
+	// Expressed as fractions of the latency bound / running best.
+	TolT, TolL float64
+	// MaxBatch and MaxND bound the search space.
+	MaxBatch, MaxND, MaxBm int
+	// Evals counts simulator invocations (for the §7.7 cost comparison).
+	Evals int
+}
+
+// NewScheduler returns a scheduler with the paper's default tolerances
+// (5%, Table 5).
+func NewScheduler(sim *Simulator) *Scheduler {
+	return &Scheduler{Sim: sim, TolT: 0.05, TolL: 0.05,
+		MaxBatch: 4096, MaxND: 64, MaxBm: 8}
+}
+
+// point evaluates one configuration.
+func (s *Scheduler) point(policy sched.Policy, tp sched.TPSpec, axes []Axis, idx []int) (perf, error) {
+	cfg := sched.Config{Policy: policy, TP: tp, BE: 1, BD: 1, Bm: 1, ND: 1}
+	for d, a := range axes {
+		v := a.Values[idx[d]]
+		switch a.Name {
+		case "BD":
+			cfg.BD = v
+		case "BE":
+			cfg.BE = v
+		case "ND":
+			cfg.ND = v
+		case "Bm":
+			cfg.Bm = v
+		default:
+			return perf{}, fmt.Errorf("core: unknown axis %q", a.Name)
+		}
+	}
+	s.Evals++
+	est, err := s.Sim.Estimate(cfg)
+	if err != nil {
+		return perf{}, err
+	}
+	if !est.Feasible {
+		return perf{lat: math.Inf(1), tput: 0, est: est}, nil
+	}
+	return perf{lat: est.Latency, tput: est.Throughput, est: est}, nil
+}
+
+// block is an axis-aligned index box [lo, hi] (inclusive).
+type block struct {
+	lo, hi []int
+	upp    perf // perf at hi corner (upper bound on tput in the box)
+	lowr   perf // perf at lo corner (lower bound on latency)
+}
+
+// upperTput is the throughput upper bound a block proves. When the top
+// corner is infeasible (e.g. out of memory at the largest batch) it
+// bounds nothing: the interior may hold the optimum, so the bound is
+// +Inf and the block must be split rather than pruned.
+func (b block) upperTput() float64 {
+	if !b.upp.est.Feasible {
+		return math.Inf(1)
+	}
+	return b.upp.tput
+}
+
+func (b block) isPoint() bool {
+	for d := range b.lo {
+		if b.lo[d] != b.hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// widestDim returns the dimension with the largest index span.
+func (b block) widestDim() int {
+	best, span := 0, -1
+	for d := range b.lo {
+		if w := b.hi[d] - b.lo[d]; w > span {
+			span = w
+			best = d
+		}
+	}
+	return best
+}
+
+// Result is the outcome of a scheduling search.
+type Result struct {
+	Best  Estimate
+	Found bool
+	Evals int
+}
+
+// bbSearch runs Algorithm 1 over the axes for one (policy, TP) choice.
+func (s *Scheduler) bbSearch(policy sched.Policy, tp sched.TPSpec, axes []Axis, lbound float64) (Estimate, bool, error) {
+	lo := make([]int, len(axes))
+	hi := make([]int, len(axes))
+	for d, a := range axes {
+		hi[d] = a.Size() - 1
+	}
+	epsL := s.TolL * lbound
+	if math.IsInf(lbound, 1) {
+		epsL = 0
+	}
+
+	// Line 1-3: initial block; if the top corner satisfies the
+	// constraint it is optimal.
+	top, err := s.point(policy, tp, axes, hi)
+	if err != nil {
+		return Estimate{}, false, err
+	}
+	if top.lat < lbound && top.est.Feasible {
+		return top.est, true, nil
+	}
+	bottom, err := s.point(policy, tp, axes, lo)
+	if err != nil {
+		return Estimate{}, false, err
+	}
+
+	var best Estimate
+	found := false
+	consider := func(p perf) {
+		if p.est.Feasible && p.lat < lbound && (!found || p.tput > best.Throughput) {
+			best = p.est
+			found = true
+		}
+	}
+	consider(bottom)
+	consider(top)
+
+	b0 := block{lo: lo, hi: hi, upp: top, lowr: bottom}
+	queue := []block{b0}
+
+	for len(queue) > 0 {
+		// Line 6: pop the block with the max upper bound.
+		sort.Slice(queue, func(i, j int) bool { return queue[i].upperTput() > queue[j].upperTput() })
+		b := queue[0]
+		queue = queue[1:]
+		// Line 18 pruning (lazy): drop blocks that cannot beat T*.
+		if found && b.upperTput()+s.TolT*best.Throughput < best.Throughput {
+			continue
+		}
+		if b.isPoint() {
+			consider(b.upp)
+			continue
+		}
+
+		// Lines 7-10: split-dimension heuristic. Evaluate the two
+		// "opposite corners" along the two widest dims and split
+		// perpendicular to the better one.
+		dim := b.widestDim()
+		if d2 := secondWidest(b, dim); d2 >= 0 {
+			tl := cornerSwap(b, dim) // low in dim, high elsewhere
+			br := cornerSwap(b, d2)  // low in d2, high elsewhere
+			ptl, err := s.point(policy, tp, axes, tl)
+			if err != nil {
+				return Estimate{}, false, err
+			}
+			pbr, err := s.point(policy, tp, axes, br)
+			if err != nil {
+				return Estimate{}, false, err
+			}
+			consider(ptl)
+			consider(pbr)
+			// Pick the corner with higher throughput satisfying the
+			// bound and split the dimension that corner holds low: that
+			// separates its feasible half from the infeasible one.
+			if pbr.lat < lbound && (ptl.lat >= lbound || pbr.tput > ptl.tput) {
+				dim = d2
+			}
+		}
+
+		mid := (b.lo[dim] + b.hi[dim]) / 2
+		for _, half := range splitAt(b, dim, mid) {
+			upp, err := s.point(policy, tp, axes, half.hi)
+			if err != nil {
+				return Estimate{}, false, err
+			}
+			lowr, err := s.point(policy, tp, axes, half.lo)
+			if err != nil {
+				return Estimate{}, false, err
+			}
+			consider(upp)
+			consider(lowr)
+			half.upp, half.lowr = upp, lowr
+			// Line 14: keep only blocks whose lower corner can satisfy
+			// the latency bound (within tolerance).
+			if lowr.lat < lbound+epsL {
+				// Line 18: and whose upper bound can improve T*.
+				if !found || half.upperTput()+s.TolT*best.Throughput >= best.Throughput {
+					queue = append(queue, half)
+				}
+			}
+		}
+	}
+	return best, found, nil
+}
+
+// secondWidest returns the widest dimension other than skip, or -1.
+func secondWidest(b block, skip int) int {
+	best, span := -1, 0
+	for d := range b.lo {
+		if d == skip {
+			continue
+		}
+		if w := b.hi[d] - b.lo[d]; w > span {
+			span = w
+			best = d
+		}
+	}
+	return best
+}
+
+// cornerSwap returns the hi corner with dimension d dropped to lo.
+func cornerSwap(b block, d int) []int {
+	idx := append([]int(nil), b.hi...)
+	idx[d] = b.lo[d]
+	return idx
+}
+
+// splitAt splits b at index mid along dim into two blocks.
+func splitAt(b block, dim, mid int) []block {
+	if mid >= b.hi[dim] {
+		mid = b.hi[dim] - 1
+	}
+	if mid < b.lo[dim] {
+		mid = b.lo[dim]
+	}
+	lo1 := append([]int(nil), b.lo...)
+	hi1 := append([]int(nil), b.hi...)
+	hi1[dim] = mid
+	lo2 := append([]int(nil), b.lo...)
+	lo2[dim] = mid + 1
+	hi2 := append([]int(nil), b.hi...)
+	return []block{{lo: lo1, hi: hi1}, {lo: lo2, hi: hi2}}
+}
+
+// tpChoices enumerates the partial tensor-parallelism options for the
+// cluster: degree 1 (no TP) plus, per profiled degree d > 1, every
+// multiple of d GPUs up to the cluster size (§5.1 fixes the degree and
+// varies the applied GPU count).
+func (s *Scheduler) tpChoices() []sched.TPSpec {
+	n := s.Sim.Cluster.TotalGPUs()
+	choices := []sched.TPSpec{{Degree: 1}}
+	for _, d := range s.Sim.Profile.TPDegrees {
+		if d <= 1 || d > n {
+			continue
+		}
+		for g := d; g <= n; g += d {
+			choices = append(choices, sched.TPSpec{Degree: d, GPUs: g})
+		}
+	}
+	return choices
+}
+
+// axesFor returns the search axes for a policy.
+func (s *Scheduler) axesFor(policy sched.Policy) []Axis {
+	if policy == sched.RRA {
+		return []Axis{batchAxis("BD", s.MaxBatch), ndAxis(s.MaxND)}
+	}
+	return []Axis{batchAxis("BE", s.MaxBatch/4), bmAxis(s.MaxBm)}
+}
+
+// FindBest runs Algorithm 1 for every policy in policies and every TP
+// choice and returns the highest-throughput schedule satisfying lbound.
+func (s *Scheduler) FindBest(policies []sched.Policy, lbound float64) (Result, error) {
+	s.Evals = 0
+	var best Estimate
+	found := false
+	for _, policy := range policies {
+		for _, tp := range s.tpChoices() {
+			if policy.IsWAA() && tp.GPUs >= s.Sim.Cluster.TotalGPUs() {
+				continue // decode side cannot take every GPU
+			}
+			est, ok, err := s.bbSearch(policy, tp, s.axesFor(policy), lbound)
+			if err != nil {
+				return Result{}, err
+			}
+			if ok && (!found || est.Throughput > best.Throughput) {
+				best = est
+				found = true
+			}
+		}
+	}
+	return Result{Best: best, Found: found, Evals: s.Evals}, nil
+}
+
+// MinLatency scans the search grid and returns the lowest achievable
+// latency over the given policies (useful for picking meaningful
+// latency bounds).
+func (s *Scheduler) MinLatency(policies []sched.Policy) (float64, error) {
+	min := math.Inf(1)
+	for _, policy := range policies {
+		for _, tp := range s.tpChoices() {
+			if policy.IsWAA() && tp.GPUs >= s.Sim.Cluster.TotalGPUs() {
+				continue
+			}
+			axes := s.axesFor(policy)
+			idx := make([]int, len(axes))
+			for {
+				p, err := s.point(policy, tp, axes, idx)
+				if err != nil {
+					return 0, err
+				}
+				if p.est.Feasible && p.lat < min {
+					min = p.lat
+				}
+				d := 0
+				for d < len(axes) {
+					idx[d]++
+					if idx[d] < axes[d].Size() {
+						break
+					}
+					idx[d] = 0
+					d++
+				}
+				if d == len(axes) {
+					break
+				}
+			}
+		}
+	}
+	return min, nil
+}
+
+// Exhaustive evaluates every grid point (the §7.7 baseline that takes
+// "five hours to an entire day" on the real system) and returns the
+// true optimum over the same search space.
+func (s *Scheduler) Exhaustive(policies []sched.Policy, lbound float64) (Result, error) {
+	s.Evals = 0
+	var best Estimate
+	found := false
+	for _, policy := range policies {
+		for _, tp := range s.tpChoices() {
+			if policy.IsWAA() && tp.GPUs >= s.Sim.Cluster.TotalGPUs() {
+				continue
+			}
+			axes := s.axesFor(policy)
+			idx := make([]int, len(axes))
+			for {
+				p, err := s.point(policy, tp, axes, idx)
+				if err != nil {
+					return Result{}, err
+				}
+				if p.est.Feasible && p.lat < lbound && (!found || p.tput > best.Throughput) {
+					best = p.est
+					found = true
+				}
+				// Advance the mixed-radix counter.
+				d := 0
+				for d < len(axes) {
+					idx[d]++
+					if idx[d] < axes[d].Size() {
+						break
+					}
+					idx[d] = 0
+					d++
+				}
+				if d == len(axes) {
+					break
+				}
+			}
+		}
+	}
+	return Result{Best: best, Found: found, Evals: s.Evals}, nil
+}

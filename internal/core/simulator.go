@@ -1,0 +1,465 @@
+// Package core implements the paper's primary contribution: XSimulator,
+// the execution-timeline estimator driven by sequence-length
+// distributions (§6), and XScheduler, the constraint-aware
+// branch-and-bound scheduling algorithm (§5).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"exegpt/internal/hw"
+	"exegpt/internal/model"
+	"exegpt/internal/profile"
+	"exegpt/internal/sched"
+	"exegpt/internal/seqdist"
+)
+
+// KVMemMargin scales the steady-state KV estimate for feasibility
+// checks, covering workload variance (§5.2 buffer time / §7.9).
+const KVMemMargin = 1.25
+
+// MemReserve is the fraction of GPU memory kept free for activation
+// workspace and allocator slack.
+const MemReserve = 0.05
+
+// Simulator is XSimulator: it constructs execution timelines for
+// candidate schedules from profiled layer times and the input/output
+// sequence-length distributions.
+type Simulator struct {
+	Model   model.Model
+	Cluster hw.Cluster // the deployment sub-cluster
+	Profile *profile.Table
+	In, Out *seqdist.Dist
+	// LatencyPctl is the output-length percentile the latency estimate
+	// targets; the paper uses the 99th percentile sequence (§7.1).
+	LatencyPctl float64
+}
+
+// NewSimulator validates inputs and returns a simulator.
+func NewSimulator(m model.Model, cluster hw.Cluster, tab *profile.Table, in, out *seqdist.Dist) (*Simulator, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if tab == nil {
+		return nil, fmt.Errorf("core: nil profile table")
+	}
+	if err := tab.Validate(); err != nil {
+		return nil, err
+	}
+	if in == nil || out == nil {
+		return nil, fmt.Errorf("core: nil sequence distribution")
+	}
+	return &Simulator{Model: m, Cluster: cluster, Profile: tab, In: in, Out: out, LatencyPctl: 0.99}, nil
+}
+
+// Estimate is the simulated outcome of one schedule.
+type Estimate struct {
+	Config sched.Config
+	Alloc  sched.Allocation
+	// Feasible is false when the schedule does not fit in GPU memory or
+	// is structurally invalid; Reason explains why.
+	Feasible bool
+	Reason   string
+	// Throughput in sequences/second; Latency is the time to generate a
+	// LatencyPctl-length output sequence.
+	Throughput float64
+	Latency    float64
+	// EncTime is the encode-phase (RRA) or encode-traversal (WAA) time;
+	// DecIterTime is the steady-state per-iteration decode period.
+	EncTime     float64
+	DecIterTime float64
+	// CycleTime is the RRA encode+ND-decodes cycle, or the WAA steady
+	// iteration period.
+	CycleTime float64
+	// PeakMemPerGPU is the estimated peak bytes on the most loaded
+	// encoder- and decoder-role GPU.
+	PeakEncMem, PeakDecMem int64
+}
+
+func infeasible(cfg sched.Config, reason string) Estimate {
+	return Estimate{Config: cfg, Feasible: false, Reason: reason,
+		Throughput: 0, Latency: math.Inf(1)}
+}
+
+// linkClass returns the collective link class for a stage.
+func linkClass(s sched.Stage) profile.LinkClass {
+	if s.CrossNode {
+		return profile.InterNode
+	}
+	return profile.IntraNode
+}
+
+// ppClass returns the link class between consecutive stages; adjacent
+// rank blocks may span nodes, approximated by the from-stage boundary.
+func (s *Simulator) ppClass(from sched.Stage) profile.LinkClass {
+	last := from.FirstRank + from.TP - 1
+	next := (last + 1) % s.Cluster.TotalGPUs()
+	if s.Cluster.NodeOf(last) != s.Cluster.NodeOf(next) {
+		return profile.InterNode
+	}
+	return profile.IntraNode
+}
+
+// encStageTime returns one stage's encoding time for a batch with
+// totalTokens prompt tokens, plus the pipeline handover.
+func (s *Simulator) encStageTime(st sched.Stage, totalTokens int, meanSeq float64) (float64, error) {
+	if st.EncLayers == 0 || totalTokens == 0 {
+		return 0, nil
+	}
+	layer, err := s.Profile.EncodeLayer(totalTokens, meanSeq, st.TP, linkClass(st))
+	if err != nil {
+		return 0, err
+	}
+	send, err := s.Profile.PPSend(totalTokens, s.ppClass(st))
+	if err != nil {
+		return 0, err
+	}
+	return float64(st.EncLayers)*layer + send, nil
+}
+
+// decStageTime returns one stage's decode-iteration time for batch
+// queries with mean attention context ctx.
+func (s *Simulator) decStageTime(st sched.Stage, batch int, ctx float64) (float64, error) {
+	if st.DecLayers == 0 || batch == 0 {
+		return 0, nil
+	}
+	layer, err := s.Profile.DecodeLayer(batch, ctx, st.TP, linkClass(st))
+	if err != nil {
+		return 0, err
+	}
+	send, err := s.Profile.PPSend(batch, s.ppClass(st))
+	if err != nil {
+		return 0, err
+	}
+	return float64(st.DecLayers)*layer + send, nil
+}
+
+// pipelinePeriod returns the steady-state period of one autoregressive
+// iteration over the stage times when m micro-batches are in flight:
+// max(Σ t_s, m * max_s t_s). With m=1 the pipeline serializes to the
+// traversal (Figure 4(b)); more micro-batches overlap stages
+// (Figure 4(c)) at the cost of per-micro-batch efficiency.
+func pipelinePeriod(stageTimes []float64, m int) float64 {
+	if m < 1 {
+		m = 1
+	}
+	var sum, max float64
+	for _, t := range stageTimes {
+		sum += t
+		if t > max {
+			max = t
+		}
+	}
+	if p := float64(m) * max; p > sum {
+		return p
+	}
+	return sum
+}
+
+// traversal returns Σ t_s: the time one token takes through the
+// pipeline.
+func traversal(stageTimes []float64) float64 {
+	var sum float64
+	for _, t := range stageTimes {
+		sum += t
+	}
+	return sum
+}
+
+// meanCtx returns the mean self(+cross) attention context of an active
+// decode slot in steady state.
+func (s *Simulator) meanCtx() float64 {
+	pos := s.Out.MeanActivePosition()
+	if s.Model.DecoderOnly() {
+		return s.In.Mean() + pos + 1
+	}
+	return s.In.Mean() + pos + 1 // cross context (input) + self context
+}
+
+// steadyKVTokensPerQuery returns the mean cached tokens an active query
+// holds (prompt for decoder-only or cross cache for enc-dec, plus
+// generated-so-far).
+func (s *Simulator) steadyKVTokensPerQuery() float64 {
+	return s.In.Mean() + s.Out.MeanActivePosition() + 1
+}
+
+// kvBytes returns the KV bytes for tokens cached tokens across layers
+// layers, sharded over tp.
+func (s *Simulator) kvBytes(tokens float64, layers, tp int) int64 {
+	perLayer := float64(s.Model.KVBytesPerTokenLayer())
+	return int64(tokens * perLayer * float64(layers) / float64(tp) * KVMemMargin)
+}
+
+// capacity returns the per-GPU usable memory.
+func (s *Simulator) capacity() int64 {
+	return int64(float64(s.Cluster.GPU.MemoryBytes) * (1 - MemReserve))
+}
+
+// Estimate simulates the timeline of cfg and returns throughput/latency.
+func (s *Simulator) Estimate(cfg sched.Config) (Estimate, error) {
+	if err := cfg.Validate(s.Cluster.TotalGPUs()); err != nil {
+		return infeasible(cfg, err.Error()), nil
+	}
+	switch cfg.Policy {
+	case sched.RRA:
+		return s.estimateRRA(cfg)
+	case sched.WAAC, sched.WAAM:
+		return s.estimateWAA(cfg)
+	}
+	return infeasible(cfg, "unknown policy"), nil
+}
+
+// rraMicroBatches is the number of decode mini-batches RRA interleaves
+// (Figure 4(a) shows two).
+const rraMicroBatches = 2
+
+// estimateRRA simulates the RRA schedule: one encoding phase then ND
+// decoding iterations, repeated (§4.1, §6).
+func (s *Simulator) estimateRRA(cfg sched.Config) (Estimate, error) {
+	comp, err := seqdist.NewCompletionDist(s.Out, cfg.ND)
+	if err != nil {
+		return Estimate{}, err
+	}
+	frac := comp.PerPhaseCompletion()
+	bd := cfg.BD
+	be := int(math.Round(float64(bd) * frac))
+	if be < 1 {
+		be = 1
+	}
+	cfg.BE = be
+
+	alloc, err := sched.AllocateRRA(s.Model, s.Cluster, cfg.TP)
+	if err != nil {
+		return infeasible(cfg, err.Error()), nil
+	}
+
+	// Encoding phase: the BE batch traverses all stages as
+	// rraMicroBatches interleaved mini-batches (Figure 4(a)).
+	encTokens := be * int(math.Round(s.In.Mean()))
+	microTokens := encTokens / rraMicroBatches
+	if microTokens < 1 {
+		microTokens = 1
+	}
+	encTimes := make([]float64, len(alloc.Stages))
+	for i, st := range alloc.Stages {
+		encTimes[i], err = s.encStageTime(st, microTokens, s.In.Mean())
+		if err != nil {
+			return Estimate{}, err
+		}
+	}
+	encPhase := pipelinePeriod(encTimes, rraMicroBatches)
+
+	// Decoding iterations u = 1..ND with decaying active batches.
+	ctx := s.meanCtx()
+	var decTotal, firstIter float64
+	for u := 1; u <= cfg.ND; u++ {
+		active := int(math.Ceil(float64(bd) * comp.ExpectedActiveFraction(u)))
+		if active < 1 {
+			active = 1
+		}
+		micro := active / rraMicroBatches
+		if micro < 1 {
+			micro = 1
+		}
+		times := make([]float64, len(alloc.Stages))
+		for i, st := range alloc.Stages {
+			times[i], err = s.decStageTime(st, micro, ctx)
+			if err != nil {
+				return Estimate{}, err
+			}
+		}
+		iter := pipelinePeriod(times, rraMicroBatches)
+		decTotal += iter
+		if u == 1 {
+			firstIter = iter
+		}
+	}
+	cycle := encPhase + decTotal
+
+	// Memory check on the most loaded stage: weights + steady KV for BD
+	// queries' share of layers.
+	kvTokens := s.steadyKVTokensPerQuery() * float64(bd)
+	var peak int64
+	for _, st := range alloc.Stages {
+		mem := sched.WeightBytesPerGPU(s.Model, st) + s.kvBytes(kvTokens, st.DecLayers, st.TP)
+		if mem > peak {
+			peak = mem
+		}
+	}
+	if peak > s.capacity() {
+		e := infeasible(cfg, fmt.Sprintf("OOM: peak %d > capacity %d", peak, s.capacity()))
+		e.PeakDecMem = peak
+		return e, nil
+	}
+
+	// Throughput: BE completions per cycle.
+	tput := float64(be) / cycle
+
+	// Latency for the target-percentile sequence: the query decodes for
+	// S99 iterations and sits through one encoding phase per ND
+	// iterations (§4.1). The expected phase count S99/ND (a query joins
+	// a cycle at a uniformly random offset) keeps Latency smooth and
+	// strictly monotone in the encoding frequency.
+	s99 := float64(s.Out.Percentile(s.LatencyPctl))
+	avgIter := decTotal / float64(cfg.ND)
+	latency := encPhase*(1+s99/float64(cfg.ND)) + s99*avgIter
+
+	return Estimate{
+		Config: cfg, Alloc: alloc, Feasible: true,
+		Throughput: tput, Latency: latency,
+		EncTime: encPhase, DecIterTime: firstIter, CycleTime: cycle,
+		PeakEncMem: peak, PeakDecMem: peak,
+	}, nil
+}
+
+// estimateWAA simulates the WAA schedule: dedicated encoder and decoder
+// pipelines running asynchronously (§4.1, §6).
+func (s *Simulator) estimateWAA(cfg sched.Config) (Estimate, error) {
+	be := cfg.BE
+	meanOut := s.Out.Mean()
+	bd := int(math.Round(float64(be) * meanOut))
+	if bd < 1 {
+		bd = 1
+	}
+	cfg.BD = bd
+	n := s.Cluster.TotalGPUs()
+
+	// Estimate CE and CD on single GPUs to drive the split (§4.1: the
+	// workload shapes the stage times used for allocation). The probe
+	// batch is fixed so that the derived allocation — and therefore the
+	// throughput/latency surfaces — stay stable along the B_E search
+	// axis, preserving the monotonicity Algorithm 1 exploits (§5.1).
+	const probeBE = 8
+	encTokens := be * int(math.Round(s.In.Mean()))
+	probeEncTokens := probeBE * int(math.Round(s.In.Mean()))
+	probeBD := int(math.Round(probeBE * meanOut))
+	encLayers := s.Model.EncLayers
+	if s.Model.DecoderOnly() {
+		encLayers = s.Model.DecLayers
+	}
+	encLayer, err := s.Profile.EncodeLayer(probeEncTokens, s.In.Mean(), 1, profile.IntraNode)
+	if err != nil {
+		return Estimate{}, err
+	}
+	ce := float64(encLayers) * encLayer
+	ctx := s.meanCtx()
+	decLayer, err := s.Profile.DecodeLayer(probeBD, ctx, 1, profile.IntraNode)
+	if err != nil {
+		return Estimate{}, err
+	}
+	cd := float64(s.Model.DecLayers) * decLayer
+
+	// Memory estimates for WAA-M, also at the probe batch.
+	encCopy := int64(encLayers) * s.Model.DecLayerBytes()
+	if !s.Model.DecoderOnly() {
+		encCopy = int64(encLayers) * s.Model.EncLayerBytes()
+	}
+	decCopy := int64(s.Model.DecLayers) * s.Model.DecLayerBytes()
+	kvTotal := s.kvBytes(s.steadyKVTokensPerQuery()*float64(probeBD), s.Model.DecLayers, 1)
+	encTransient := int64(2*probeEncTokens) * s.Model.KVBytesPerToken() // double-buffered prefill KV
+
+	encGPUs, decGPUs, err := sched.WAASplit(n, cfg.Policy, ce, cd, encCopy+encTransient, decCopy+kvTotal)
+	if err != nil {
+		return infeasible(cfg, err.Error()), nil
+	}
+	alloc, err := sched.AllocateWAA(s.Model, s.Cluster, cfg.Policy, encGPUs, decGPUs, cfg.TP)
+	if err != nil {
+		return infeasible(cfg, err.Error()), nil
+	}
+
+	// Encoder pipeline: pipelined over successive batches.
+	encStages := alloc.EncStages()
+	encTimes := make([]float64, len(encStages))
+	for i, st := range encStages {
+		encTimes[i], err = s.encStageTime(st, encTokens, s.In.Mean())
+		if err != nil {
+			return Estimate{}, err
+		}
+	}
+	encTraversal := traversal(encTimes)
+	encPeriod := 0.0
+	for _, t := range encTimes {
+		if t > encPeriod {
+			encPeriod = t
+		}
+	}
+
+	// Decoder pipeline with Bm micro-batches. More micro-batches than
+	// pipeline stages add no overlap and only shrink per-micro-batch
+	// efficiency, so the runner groups them; clamp accordingly (this
+	// also keeps the Bm axis monotone for Algorithm 1, §5.1).
+	decStages := alloc.DecStages()
+	bm := cfg.Bm
+	if bm > len(decStages) {
+		bm = len(decStages)
+	}
+	micro := bd / bm
+	if micro < 1 {
+		micro = 1
+	}
+	decTimes := make([]float64, len(decStages))
+	for i, st := range decStages {
+		decTimes[i], err = s.decStageTime(st, micro, ctx)
+		if err != nil {
+			return Estimate{}, err
+		}
+	}
+	decIter := pipelinePeriod(decTimes, bm)
+	decTraversal := traversal(decTimes)
+
+	// Steady-state period: the slower side gates (pipeline bubble
+	// otherwise); the KV handover is staged through host memory and
+	// overlaps compute, so it binds only if slower than both.
+	kvXfer := s.Profile.KVTransfer(encTokens)
+	period := math.Max(decIter, encPeriod)
+	period = math.Max(period, kvXfer)
+
+	// Memory feasibility per side.
+	var peakEnc, peakDec int64
+	for _, st := range encStages {
+		mem := sched.WeightBytesPerGPU(s.Model, st) +
+			int64(2*encTokens)*s.Model.KVBytesPerTokenLayer()*int64(maxInt(st.EncLayers, 1))
+		if mem > peakEnc {
+			peakEnc = mem
+		}
+	}
+	kvPerQuery := s.steadyKVTokensPerQuery()
+	for _, st := range decStages {
+		mem := sched.WeightBytesPerGPU(s.Model, st) + s.kvBytes(kvPerQuery*float64(bd), st.DecLayers, st.TP)
+		if mem > peakDec {
+			peakDec = mem
+		}
+	}
+	if peakEnc > s.capacity() || peakDec > s.capacity() {
+		e := infeasible(cfg, fmt.Sprintf("OOM: enc %d / dec %d > capacity %d", peakEnc, peakDec, s.capacity()))
+		e.PeakEncMem, e.PeakDecMem = peakEnc, peakDec
+		return e, nil
+	}
+
+	// Throughput: BD/meanOut = BE completions per decode iteration.
+	tput := float64(be) / period
+
+	// Latency: encode traversal + KV handover + S99 decode iterations
+	// (token period), §4.1/§6 including buffer for dynamic adjustment.
+	s99 := float64(s.Out.Percentile(s.LatencyPctl))
+	latency := encTraversal + kvXfer + (s99-1)*period + decTraversal
+	latency *= 1.05 // §6: buffer time for dynamic adjustments
+
+	return Estimate{
+		Config: cfg, Alloc: alloc, Feasible: true,
+		Throughput: tput, Latency: latency,
+		EncTime: encTraversal, DecIterTime: decIter, CycleTime: period,
+		PeakEncMem: peakEnc, PeakDecMem: peakDec,
+	}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

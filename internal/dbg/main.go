@@ -1,0 +1,50 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"exegpt/internal/baselines"
+	"exegpt/internal/core"
+	"exegpt/internal/hw"
+	"exegpt/internal/model"
+	"exegpt/internal/profile"
+	"exegpt/internal/runner"
+	"exegpt/internal/sched"
+	"exegpt/internal/workload"
+)
+
+func main() {
+	m, gpus, cl, task := model.GPT3101B, 16, hw.A100Cluster, workload.CodeGeneration
+	sub, _ := cl.Sub(gpus)
+	p, _ := profile.New(m, sub)
+	prof := p.Run()
+	in, out, _ := task.Dists()
+	sim, _ := core.NewSimulator(m, sub, prof, in, out)
+	sch := core.NewScheduler(sim)
+	sch.MaxBatch = 512
+	sch.MaxND = 32
+	run, _ := runner.New(m, sub, prof)
+	g, _ := workload.NewGenerator(task, 42)
+	reqs := g.Batch(1500)
+
+	ft, _ := baselines.New(baselines.FT, m, sub, prof)
+	b, _ := ft.PickBatch(math.Inf(1), in.Mean(), out.Mean(), task.Out.Max, task.Out.Max)
+	fres, _ := ft.Run(b, reqs, task.Out.Max)
+	fmt.Printf("FT b=%d total=%.3f steady=%.3f\n", b, fres.Stats.Throughput, fres.Stats.SteadyTput)
+
+	for _, nd := range []int{1, 2, 4, 8, 16, 32} {
+		cfg := sched.Config{Policy: sched.RRA, BE: 1, BD: 400, ND: nd, TP: sched.TPSpec{Degree: 8, GPUs: 16}}
+		est, _ := sim.Estimate(cfg)
+		if !est.Feasible {
+			fmt.Printf("ND=%2d infeasible: %s\n", nd, est.Reason)
+			continue
+		}
+		alloc := est.Alloc
+		rres, err := run.Run(est.Config, alloc, reqs)
+		fmt.Printf("ND=%2d BE=%3d est=%.2f lat=%.1f | run total=%.2f steady=%.2f err=%v\n",
+			nd, est.Config.BE, est.Throughput, est.Latency, rres.Stats.Throughput, rres.Stats.SteadyTput, err)
+	}
+	res, _ := sch.FindBest([]sched.Policy{sched.RRA}, math.Inf(1))
+	fmt.Printf("scheduler pick: %v est=%.2f\n", res.Best.Config, res.Best.Throughput)
+}

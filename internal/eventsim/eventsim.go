@@ -1,0 +1,201 @@
+// Package eventsim provides a deterministic discrete-event simulation
+// kernel used by the XRunner execution engine and the baseline engines.
+//
+// Time is virtual and measured in seconds (float64). Events scheduled at
+// the same instant are executed in scheduling order (FIFO), which makes
+// every simulation run bit-for-bit reproducible.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a callback scheduled to run at a virtual time.
+type Event struct {
+	at   float64
+	seq  uint64
+	fn   func()
+	dead bool
+}
+
+// Time returns the virtual time at which the event fires.
+func (e *Event) Time() float64 { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an event that
+// already fired is a no-op.
+func (e *Event) Cancel() { e.dead = true }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Sim is a discrete-event simulator. The zero value is not usable; use New.
+type Sim struct {
+	now     float64
+	seq     uint64
+	pending eventHeap
+	steps   uint64
+	// MaxSteps bounds the number of processed events to guard against
+	// runaway simulations; 0 means no bound.
+	MaxSteps uint64
+}
+
+// New returns an empty simulator positioned at time zero.
+func New() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Steps returns the number of events processed so far.
+func (s *Sim) Steps() uint64 { return s.steps }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics, because it indicates a logic error in the caller.
+func (s *Sim) At(t float64, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("eventsim: schedule at %v before now %v", t, s.now))
+	}
+	if math.IsNaN(t) {
+		panic("eventsim: schedule at NaN")
+	}
+	ev := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.pending, ev)
+	return ev
+}
+
+// After schedules fn to run d seconds after the current time.
+func (s *Sim) After(d float64, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("eventsim: negative delay %v", d))
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Pending reports the number of events waiting to fire (including
+// cancelled ones not yet drained).
+func (s *Sim) Pending() int { return len(s.pending) }
+
+// Step processes the single earliest pending event. It reports whether
+// an event was processed.
+func (s *Sim) Step() bool {
+	for len(s.pending) > 0 {
+		ev := heap.Pop(&s.pending).(*Event)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		s.steps++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until none remain or MaxSteps is exceeded.
+// It returns the final virtual time.
+func (s *Sim) Run() float64 {
+	for s.Step() {
+		if s.MaxSteps > 0 && s.steps > s.MaxSteps {
+			panic(fmt.Sprintf("eventsim: exceeded MaxSteps=%d", s.MaxSteps))
+		}
+	}
+	return s.now
+}
+
+// RunUntil processes events with firing time <= deadline. Events
+// scheduled beyond the deadline remain pending. It returns the final
+// virtual time, which never exceeds the deadline.
+func (s *Sim) RunUntil(deadline float64) float64 {
+	for len(s.pending) > 0 {
+		next := s.pending[0]
+		if next.dead {
+			heap.Pop(&s.pending)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		s.Step()
+		if s.MaxSteps > 0 && s.steps > s.MaxSteps {
+			panic(fmt.Sprintf("eventsim: exceeded MaxSteps=%d", s.MaxSteps))
+		}
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return s.now
+}
+
+// Resource models an exclusive serially-reusable resource (e.g. one GPU's
+// compute stream). Work items are executed in FIFO order; each occupies
+// the resource for its stated duration.
+type Resource struct {
+	sim  *Sim
+	name string
+	// freeAt is the virtual time at which the resource becomes idle.
+	freeAt float64
+	// busy accumulates total busy seconds for utilization accounting.
+	busy float64
+}
+
+// NewResource creates a resource bound to sim.
+func NewResource(sim *Sim, name string) *Resource {
+	return &Resource{sim: sim, name: name}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// FreeAt returns the virtual time at which all currently queued work
+// completes.
+func (r *Resource) FreeAt() float64 { return r.freeAt }
+
+// BusySeconds returns the accumulated busy time.
+func (r *Resource) BusySeconds() float64 { return r.busy }
+
+// Acquire schedules work of the given duration beginning no earlier than
+// earliest, queued FIFO behind previously acquired work. done is invoked
+// at completion time with the completion time as argument. Acquire
+// returns the time the work starts.
+func (r *Resource) Acquire(earliest, duration float64, done func(endAt float64)) float64 {
+	if duration < 0 {
+		panic(fmt.Sprintf("eventsim: resource %s negative duration %v", r.name, duration))
+	}
+	start := math.Max(math.Max(earliest, r.freeAt), r.sim.Now())
+	end := start + duration
+	r.freeAt = end
+	r.busy += duration
+	if done != nil {
+		r.sim.At(end, func() { done(end) })
+	}
+	return start
+}
+
+// Utilization returns busy seconds divided by the given makespan.
+func (r *Resource) Utilization(makespan float64) float64 {
+	if makespan <= 0 {
+		return 0
+	}
+	return r.busy / makespan
+}

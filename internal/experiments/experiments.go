@@ -1,0 +1,247 @@
+// Package experiments regenerates every table and figure of the ExeGPT
+// paper's evaluation (§7) on the simulated substrate. Each experiment
+// has one entry point returning structured rows plus a formatter that
+// prints the same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"exegpt/internal/baselines"
+	"exegpt/internal/core"
+	"exegpt/internal/hw"
+	"exegpt/internal/model"
+	"exegpt/internal/profile"
+	"exegpt/internal/runner"
+	"exegpt/internal/sched"
+	"exegpt/internal/seqdist"
+	"exegpt/internal/workload"
+)
+
+// Context carries experiment-wide settings.
+type Context struct {
+	// Seed drives all request sampling.
+	Seed int64
+	// Requests per measured run.
+	Requests int
+	// Quick shrinks sweeps for fast test runs.
+	Quick bool
+
+	profiles map[string]*profile.Table
+}
+
+// NewContext returns defaults matching the paper-scale runs.
+func NewContext() *Context {
+	return &Context{Seed: 42, Requests: 1200, profiles: map[string]*profile.Table{}}
+}
+
+// NewQuickContext returns a reduced-cost context for tests.
+func NewQuickContext() *Context {
+	return &Context{Seed: 42, Requests: 500, Quick: true, profiles: map[string]*profile.Table{}}
+}
+
+// deployment bundles everything needed to evaluate one (model, cluster,
+// task) combination.
+type deployment struct {
+	model   model.Model
+	cluster hw.Cluster
+	prof    *profile.Table
+	task    workload.Task
+	in, out *seqdist.Dist
+	sim     *core.Simulator
+	sch     *core.Scheduler
+	run     *runner.Engine
+}
+
+// profileFor memoizes profiling per (model, sub-cluster).
+func (c *Context) profileFor(m model.Model, sub hw.Cluster) (*profile.Table, error) {
+	key := m.Name + "/" + sub.Name + "/" + fmt.Sprint(sub.TotalGPUs())
+	if t, ok := c.profiles[key]; ok {
+		return t, nil
+	}
+	p, err := profile.New(m, sub)
+	if err != nil {
+		return nil, err
+	}
+	t := p.Run()
+	if c.profiles == nil {
+		c.profiles = map[string]*profile.Table{}
+	}
+	c.profiles[key] = t
+	return t, nil
+}
+
+// deploy sets up a deployment for a model on gpus of cluster running
+// task.
+func (c *Context) deploy(m model.Model, cluster hw.Cluster, gpus int, task workload.Task) (*deployment, error) {
+	sub, err := cluster.Sub(gpus)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := c.profileFor(m, sub)
+	if err != nil {
+		return nil, err
+	}
+	in, out, err := task.Dists()
+	if err != nil {
+		return nil, err
+	}
+	sim, err := core.NewSimulator(m, sub, prof, in, out)
+	if err != nil {
+		return nil, err
+	}
+	sch := core.NewScheduler(sim)
+	if c.Quick {
+		sch.MaxBatch = 512
+		sch.MaxND = 32
+	}
+	run, err := runner.New(m, sub, prof)
+	if err != nil {
+		return nil, err
+	}
+	return &deployment{
+		model: m, cluster: sub, prof: prof, task: task,
+		in: in, out: out, sim: sim, sch: sch, run: run,
+	}, nil
+}
+
+// requests draws the evaluation request stream.
+func (c *Context) requests(task workload.Task, n int) ([]workload.Request, error) {
+	g, err := workload.NewGenerator(task, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if task.Rho > 0.5 {
+		// §7.1: highly correlated tasks get input randomization.
+		g.RandomizeInputs = true
+	}
+	if n <= 0 {
+		n = c.Requests
+	}
+	return g.Batch(n), nil
+}
+
+// ftBounds derives the paper's four latency constraints from FT's
+// batch-size/latency sweep: bottom 10%, 30%, 70% and infinity (§7.1).
+func (d *deployment) ftBounds() ([]float64, error) {
+	ft, err := baselines.New(baselines.FT, d.model, d.cluster, d.prof)
+	if err != nil {
+		return nil, err
+	}
+	sweep, err := ft.LatencySweep(d.in.Mean(), d.out.Mean(), d.task.Out.Max, d.task.Out.Max)
+	if err != nil {
+		return nil, err
+	}
+	if len(sweep) == 0 {
+		return nil, fmt.Errorf("experiments: FT has no feasible batch for %s on %s", d.task.ID, d.model.Name)
+	}
+	pick := func(q float64) float64 {
+		i := int(q * float64(len(sweep)))
+		if i >= len(sweep) {
+			i = len(sweep) - 1
+		}
+		return sweep[i]
+	}
+	return []float64{pick(0.10), pick(0.30), pick(0.70), math.Inf(1)}, nil
+}
+
+// runBaseline picks the largest bound-feasible batch for the system and
+// measures its execution.
+func (d *deployment) runBaseline(sys baselines.System, bound float64, reqs []workload.Request) (float64, error) {
+	e, err := baselines.New(sys, d.model, d.cluster, d.prof)
+	if err != nil {
+		return 0, err
+	}
+	boundLen := d.task.Out.Max
+	if sys == baselines.ORCA || sys == baselines.VLLM {
+		boundLen = d.out.Percentile(0.99)
+	}
+	b, err := e.PickBatch(bound, d.in.Mean(), d.out.Mean(), boundLen, d.task.Out.Max)
+	if err != nil {
+		return 0, err
+	}
+	if b == 0 {
+		return 0, nil // bound not satisfiable
+	}
+	res, err := e.Run(b, reqs, d.task.Out.Max)
+	if err != nil {
+		return 0, err
+	}
+	return res.Stats.EffectiveTput(), nil
+}
+
+// scheduleAndRun finds the best schedule under the bound for the given
+// policies and executes it, returning the measured throughput. ok=false
+// means no feasible schedule (the paper's "NS").
+func (d *deployment) scheduleAndRun(policies []sched.Policy, bound float64, reqs []workload.Request) (tput float64, est core.Estimate, ok bool, err error) {
+	res, err := d.sch.FindBest(policies, bound)
+	if err != nil || !res.Found {
+		return 0, core.Estimate{}, false, err
+	}
+	out, err := d.run.Run(res.Best.Config, res.Best.Alloc, reqs)
+	if err != nil {
+		// A schedule that passes the simulator but trips runtime OOM on
+		// sampled tails counts as not satisfiable.
+		return 0, res.Best, false, nil
+	}
+	return out.Stats.EffectiveTput(), res.Best, true, nil
+}
+
+// tableWriter builds fixed-width text tables.
+type tableWriter struct {
+	b     strings.Builder
+	width []int
+	rows  [][]string
+}
+
+func newTable(headers ...string) *tableWriter {
+	t := &tableWriter{}
+	t.addRow(headers...)
+	return t
+}
+
+func (t *tableWriter) addRow(cells ...string) {
+	for i, cell := range cells {
+		if i >= len(t.width) {
+			t.width = append(t.width, 0)
+		}
+		if len(cell) > t.width[i] {
+			t.width[i] = len(cell)
+		}
+	}
+	t.rows = append(t.rows, cells)
+}
+
+func (t *tableWriter) String() string {
+	for r, row := range t.rows {
+		for i, cell := range row {
+			fmt.Fprintf(&t.b, "%-*s", t.width[i]+2, cell)
+		}
+		t.b.WriteString("\n")
+		if r == 0 {
+			for i := range row {
+				t.b.WriteString(strings.Repeat("-", t.width[i]) + "  ")
+			}
+			t.b.WriteString("\n")
+		}
+	}
+	return t.b.String()
+}
+
+func fmtBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "Inf"
+	}
+	return fmt.Sprintf("%.1f", b)
+}
+
+func fmtTput(v float64, feasible bool) string {
+	if !feasible {
+		return "NS"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func gib(b int64) float64 { return float64(b) / (1 << 30) }

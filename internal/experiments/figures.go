@@ -1,0 +1,554 @@
+// Figure regenerators (§7.2-§7.6).
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"exegpt/internal/baselines"
+	"exegpt/internal/core"
+	"exegpt/internal/hw"
+	"exegpt/internal/model"
+	"exegpt/internal/sched"
+	"exegpt/internal/seqdist"
+	"exegpt/internal/workload"
+)
+
+// ThroughputCell is one bar of Figures 6, 7, 8 and 10.
+type ThroughputCell struct {
+	Model  string
+	Task   string
+	Bound  float64
+	System string
+	Tput   float64
+	// Feasible is false for the paper's "NS" entries.
+	Feasible bool
+}
+
+// speedupVs returns the per-(model,task,bound) throughput ratio of
+// ExeGPT's best policy over the named baseline.
+func speedupVs(cells []ThroughputCell, baseline string) []float64 {
+	type key struct {
+		m, t string
+		b    float64
+	}
+	base := map[key]float64{}
+	best := map[key]float64{}
+	for _, c := range cells {
+		k := key{c.Model, c.Task, c.Bound}
+		if c.System == baseline && c.Feasible {
+			base[k] = c.Tput
+		}
+		if (c.System == "ExeGPT-RRA" || c.System == "ExeGPT-WAA") && c.Feasible && c.Tput > best[k] {
+			best[k] = c.Tput
+		}
+	}
+	var out []float64
+	for k, b := range base {
+		if b > 0 && best[k] > 0 {
+			out = append(out, best[k]/b)
+		}
+	}
+	return out
+}
+
+// GeoMeanSpeedup summarizes ExeGPT's gain over FT across cells.
+func GeoMeanSpeedup(cells []ThroughputCell) float64 {
+	sp := speedupVs(cells, "FT")
+	if len(sp) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, s := range sp {
+		logSum += math.Log(s)
+	}
+	return math.Exp(logSum / float64(len(sp)))
+}
+
+// MaxSpeedup returns the largest per-cell gain over FT.
+func MaxSpeedup(cells []ThroughputCell) float64 {
+	max := 0.0
+	for _, s := range speedupVs(cells, "FT") {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// throughputFigure runs one Figure 6/8-style comparison for the given
+// deployments, tasks, and ExeGPT policy sets.
+func (c *Context) throughputFigure(deps []sched.Deployment, tasks []workload.Task, rra, waa bool) ([]ThroughputCell, error) {
+	var cells []ThroughputCell
+	for _, dply := range deps {
+		for _, task := range tasks {
+			d, err := c.deploy(dply.Model, dply.Cluster, dply.GPUs, task)
+			if err != nil {
+				return nil, err
+			}
+			bounds, err := d.ftBounds()
+			if err != nil {
+				return nil, err
+			}
+			if c.Quick {
+				bounds = []float64{bounds[1], math.Inf(1)}
+			}
+			reqs, err := c.requests(task, 0)
+			if err != nil {
+				return nil, err
+			}
+			for _, bound := range bounds {
+				ftTput, err := d.runBaseline(baselines.FT, bound, reqs)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, ThroughputCell{
+					Model: dply.Model.Name, Task: task.ID, Bound: bound,
+					System: "FT", Tput: ftTput, Feasible: ftTput > 0,
+				})
+				if rra {
+					tput, _, ok, err := d.scheduleAndRun([]sched.Policy{sched.RRA}, bound, reqs)
+					if err != nil {
+						return nil, err
+					}
+					cells = append(cells, ThroughputCell{
+						Model: dply.Model.Name, Task: task.ID, Bound: bound,
+						System: "ExeGPT-RRA", Tput: tput, Feasible: ok,
+					})
+				}
+				if waa {
+					tput, _, ok, err := d.scheduleAndRun([]sched.Policy{sched.WAAC, sched.WAAM}, bound, reqs)
+					if err != nil {
+						return nil, err
+					}
+					cells = append(cells, ThroughputCell{
+						Model: dply.Model.Name, Task: task.ID, Bound: bound,
+						System: "ExeGPT-WAA", Tput: tput, Feasible: ok,
+					})
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Figure6 compares ExeGPT (RRA and WAA) against FT on small to mid-sized
+// LLMs with tasks S, T and C1 under four latency bounds (§7.3).
+func (c *Context) Figure6() ([]ThroughputCell, error) {
+	deps := []sched.Deployment{
+		{Model: model.T511B, Cluster: hw.A40Cluster, GPUs: 8},
+		{Model: model.OPT13B, Cluster: hw.A40Cluster, GPUs: 4},
+		{Model: model.GPT339B, Cluster: hw.A40Cluster, GPUs: 16},
+		{Model: model.GPT3101B, Cluster: hw.A100Cluster, GPUs: 16},
+	}
+	if c.Quick {
+		deps = deps[1:2] // OPT-13B only
+	}
+	tasks := []workload.Task{workload.Summarization, workload.Translation, workload.ConvQA1}
+	if c.Quick {
+		tasks = tasks[:2]
+	}
+	return c.throughputFigure(deps, tasks, true, true)
+}
+
+// Figure7 compares the existing systems (FT, DSI, ORCA, vLLM) on
+// OPT-13B with four A40 GPUs (§7.2).
+func (c *Context) Figure7() ([]ThroughputCell, error) {
+	var cells []ThroughputCell
+	tasks := []workload.Task{workload.Summarization, workload.Translation, workload.ConvQA1}
+	if c.Quick {
+		tasks = tasks[:1]
+	}
+	for _, task := range tasks {
+		d, err := c.deploy(model.OPT13B, hw.A40Cluster, 4, task)
+		if err != nil {
+			return nil, err
+		}
+		bounds, err := d.ftBounds()
+		if err != nil {
+			return nil, err
+		}
+		if c.Quick {
+			bounds = []float64{bounds[1], math.Inf(1)}
+		}
+		reqs, err := c.requests(task, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, bound := range bounds {
+			for _, sys := range []baselines.System{baselines.FT, baselines.DSI, baselines.ORCA, baselines.VLLM} {
+				tput, err := d.runBaseline(sys, bound, reqs)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, ThroughputCell{
+					Model: "OPT-13B", Task: task.ID, Bound: bound,
+					System: sys.String(), Tput: tput, Feasible: tput > 0,
+				})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Figure8 compares ExeGPT (RRA only; WAA exceeds memory, §7.4) against
+// FT on the large models with tasks G, C1 and C2.
+func (c *Context) Figure8() ([]ThroughputCell, error) {
+	deps := []sched.Deployment{
+		{Model: model.GPT3101B, Cluster: hw.A100Cluster, GPUs: 16},
+		{Model: model.GPT3175B, Cluster: hw.A100Cluster, GPUs: 16},
+		{Model: model.GPT3341B, Cluster: hw.A40Cluster, GPUs: 48},
+	}
+	if c.Quick {
+		deps = deps[:1]
+	}
+	tasks := []workload.Task{workload.CodeGeneration, workload.ConvQA1, workload.ConvQA2}
+	if c.Quick {
+		tasks = tasks[:1]
+	}
+	return c.throughputFigure(deps, tasks, true, false)
+}
+
+// MemoryCell is one bar group of Figure 9.
+type MemoryCell struct {
+	Model, Task string
+	// Per-GPU memory in bytes, split into model weights and KV cache.
+	FTWeights, FTKV         int64
+	WAAEncWeights, WAAEncKV int64
+	WAADecWeights, WAADecKV int64
+	WAAPolicy               string
+	EncGPUs, DecGPUs        int
+}
+
+// Figure9 measures the per-GPU memory usage of FT versus WAA's encoder
+// and decoder GPUs at the infinite latency bound (§7.3).
+func (c *Context) Figure9() ([]MemoryCell, error) {
+	var cells []MemoryCell
+	type combo struct {
+		m    model.Model
+		cl   hw.Cluster
+		gpus int
+	}
+	combos := []combo{{model.OPT13B, hw.A40Cluster, 4}, {model.GPT3101B, hw.A100Cluster, 16}}
+	if c.Quick {
+		combos = combos[:1]
+	}
+	for _, cb := range combos {
+		for _, task := range []workload.Task{workload.Translation, workload.CodeGeneration} {
+			d, err := c.deploy(cb.m, cb.cl, cb.gpus, task)
+			if err != nil {
+				return nil, err
+			}
+			// FT at its max feasible batch (LB = inf).
+			ft, err := baselines.New(baselines.FT, d.model, d.cluster, d.prof)
+			if err != nil {
+				return nil, err
+			}
+			b := ft.MaxFeasibleBatch(d.in.Mean(), d.task.Out.Max, 512)
+			reqs, err := c.requests(task, 0)
+			if err != nil {
+				return nil, err
+			}
+			ftRes, err := ft.Run(maxInt(b, 4), reqs, d.task.Out.Max)
+			if err != nil {
+				return nil, err
+			}
+			ftWeights := ftWeightBytes(d)
+			cell := MemoryCell{
+				Model: cb.m.Name, Task: task.ID,
+				FTWeights: ftWeights, FTKV: ftRes.PeakMem - ftWeights,
+			}
+
+			// WAA at its unconstrained optimum.
+			res, err := d.sch.FindBest([]sched.Policy{sched.WAAC, sched.WAAM}, math.Inf(1))
+			if err != nil {
+				return nil, err
+			}
+			if res.Found {
+				est := res.Best
+				cell.WAAPolicy = est.Config.Policy.String()
+				cell.EncGPUs, cell.DecGPUs = est.Alloc.EncGPUs, est.Alloc.DecGPUs
+				encW, decW := waaWeightBytes(d, est.Alloc)
+				cell.WAAEncWeights, cell.WAADecWeights = encW, decW
+				cell.WAAEncKV = est.PeakEncMem - encW
+				cell.WAADecKV = est.PeakDecMem - decW
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+// ftWeightBytes returns the weight bytes on FT's most loaded GPU: all
+// layers sharded over TP within the node and PP across nodes.
+func ftWeightBytes(d *deployment) int64 {
+	tp := minInt(d.cluster.GPUsPerNode, d.cluster.TotalGPUs())
+	pp := d.cluster.TotalGPUs() / tp
+	layers := (d.model.TotalLayers() + pp - 1) / pp
+	return int64(layers) * d.model.DecLayerBytes() / int64(tp)
+}
+
+func waaWeightBytes(d *deployment, alloc sched.Allocation) (enc, dec int64) {
+	for _, st := range alloc.Stages {
+		w := sched.WeightBytesPerGPU(d.model, st)
+		switch st.Role {
+		case sched.RoleEncode:
+			if w > enc {
+				enc = w
+			}
+		case sched.RoleDecode:
+			if w > dec {
+				dec = w
+			}
+		}
+	}
+	return enc, dec
+}
+
+// Figure10 evaluates FT and ExeGPT on the real-world dataset emulations
+// (WMT, Alpaca, CNN/DailyMail) with two latency bounds, estimating the
+// distribution from 10% of the data and evaluating on the rest (§7.5).
+func (c *Context) Figure10() ([]ThroughputCell, error) {
+	var cells []ThroughputCell
+	type combo struct {
+		m    model.Model
+		cl   hw.Cluster
+		gpus int
+	}
+	combos := []combo{{model.OPT13B, hw.A40Cluster, 4}, {model.GPT339B, hw.A40Cluster, 16}}
+	if c.Quick {
+		combos = combos[:1]
+	}
+	datasets := workload.RealDatasets
+	if c.Quick {
+		datasets = datasets[:1]
+	}
+	for _, cb := range combos {
+		for _, task := range datasets {
+			// Draw the full stream first, split 10/90.
+			g, err := workload.NewGenerator(task, c.Seed)
+			if err != nil {
+				return nil, err
+			}
+			all := g.Batch(c.Requests * 10 / 9)
+			est, eval := workload.Split(all, 0.1)
+			inObs, outObs, err := workload.EstimateDists(est)
+			if err != nil {
+				return nil, err
+			}
+			d, err := c.deploy(cb.m, cb.cl, cb.gpus, task)
+			if err != nil {
+				return nil, err
+			}
+			// Schedule against the observed distributions.
+			d.sim.In, d.sim.Out = inObs, outObs
+			bounds, err := d.ftBounds()
+			if err != nil {
+				return nil, err
+			}
+			use := []float64{bounds[1], math.Inf(1)} // 30% and infinity
+			for _, bound := range use {
+				ftTput, err := d.runBaseline(baselines.FT, bound, eval)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, ThroughputCell{
+					Model: cb.m.Name, Task: task.ID, Bound: bound,
+					System: "FT", Tput: ftTput, Feasible: ftTput > 0,
+				})
+				for _, pol := range []struct {
+					name     string
+					policies []sched.Policy
+				}{
+					{"ExeGPT-RRA", []sched.Policy{sched.RRA}},
+					{"ExeGPT-WAA", []sched.Policy{sched.WAAC, sched.WAAM}},
+				} {
+					tput, _, ok, err := d.scheduleAndRun(pol.policies, bound, eval)
+					if err != nil {
+						return nil, err
+					}
+					cells = append(cells, ThroughputCell{
+						Model: cb.m.Name, Task: task.ID, Bound: bound,
+						System: pol.name, Tput: tput, Feasible: ok,
+					})
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// ShiftCell is one bar group of Figure 11: the throughput of the
+// non-adjusted versus re-optimized schedule and the p99 latency under a
+// shifted output distribution.
+type ShiftCell struct {
+	// Dimension is "avg", "std" or "skew"; Value the multiplier (avg,
+	// std) or absolute skewness.
+	Dimension string
+	Value     float64
+	// NonAdjustedTput runs the stale schedule; OptimalTput re-schedules.
+	NonAdjustedTput float64
+	OptimalTput     float64
+	// P99Latency of the stale schedule, normalized to the unshifted
+	// distribution's p99 latency.
+	P99LatencyNorm float64
+	// MeetsBound reports whether the stale schedule still satisfies the
+	// original latency bound at p99.
+	MeetsBound bool
+}
+
+// Figure11 evaluates WAA under changing sequence distributions: the
+// schedule is fixed for the base translation distribution, then the
+// actual distribution's average, standard deviation, or skewness
+// changes (§7.6).
+func (c *Context) Figure11() ([]ShiftCell, error) {
+	task := workload.Translation
+	d, err := c.deploy(model.OPT13B, hw.A40Cluster, 4, task)
+	if err != nil {
+		return nil, err
+	}
+	bounds, err := d.ftBounds()
+	if err != nil {
+		return nil, err
+	}
+	bound := bounds[1] // bottom 30% (§7.6)
+
+	// Base schedule (WAA only; RRA adapts without re-allocation, §7.6).
+	base, err := d.sch.FindBest([]sched.Policy{sched.WAAC, sched.WAAM}, bound)
+	if err != nil {
+		return nil, err
+	}
+	if !base.Found {
+		// Fall back to the loosest bound if 30% is unreachable for WAA.
+		bound = bounds[2]
+		base, err = d.sch.FindBest([]sched.Policy{sched.WAAC, sched.WAAM}, bound)
+		if err != nil {
+			return nil, err
+		}
+		if !base.Found {
+			return nil, fmt.Errorf("experiments: no feasible WAA schedule for figure 11")
+		}
+	}
+	baseReqs, err := c.requests(task, 0)
+	if err != nil {
+		return nil, err
+	}
+	baseRun, err := d.run.Run(base.Best.Config, base.Best.Alloc, baseReqs)
+	if err != nil {
+		return nil, err
+	}
+	baseP99 := baseRun.Stats.P99Lat
+
+	type variant struct {
+		dim   string
+		value float64
+		out   *seqdist.Dist
+	}
+	var variants []variant
+	mean, std := d.out.Mean(), d.out.Std()
+	avgFactors := []float64{0.7, 0.85, 1.15, 1.3}
+	stdFactors := []float64{0.7, 1.3}
+	skews := []float64{-0.41, -0.2, 0.2, 0.41}
+	if c.Quick {
+		avgFactors = []float64{0.7, 1.3}
+		stdFactors = []float64{1.3}
+		skews = []float64{0.41}
+	}
+	for _, f := range avgFactors {
+		dist, err := seqdist.NewTruncNormal(mean*f, std, int(float64(task.Out.Max)*math.Max(f, 1)))
+		if err != nil {
+			return nil, err
+		}
+		variants = append(variants, variant{"avg", f, dist})
+	}
+	for _, f := range stdFactors {
+		dist, err := seqdist.NewTruncNormal(mean, std*f, task.Out.Max)
+		if err != nil {
+			return nil, err
+		}
+		variants = append(variants, variant{"std", f, dist})
+	}
+	for _, sk := range skews {
+		dist, err := seqdist.NewSkewNormalMoments(mean, std, sk, task.Out.Max+160)
+		if err != nil {
+			return nil, err
+		}
+		variants = append(variants, variant{"skew", sk, dist})
+	}
+
+	var cells []ShiftCell
+	for _, v := range variants {
+		// Sample evaluation requests from the shifted distribution.
+		shifted := task
+		reqs, err := shiftedRequests(c, shifted, v.out)
+		if err != nil {
+			return nil, err
+		}
+		// Non-adjusted: stale schedule.
+		staleRun, err := d.run.Run(base.Best.Config, base.Best.Alloc, reqs)
+		var staleTput, p99 float64
+		if err == nil {
+			staleTput = staleRun.Stats.EffectiveTput()
+			p99 = staleRun.Stats.P99Lat
+		}
+		// Optimal: re-schedule for the shifted distribution.
+		simShift, err := core.NewSimulator(d.model, d.cluster, d.prof, d.in, v.out)
+		if err != nil {
+			return nil, err
+		}
+		schShift := core.NewScheduler(simShift)
+		if c.Quick {
+			schShift.MaxBatch = 512
+			schShift.MaxND = 32
+		}
+		opt, err := schShift.FindBest([]sched.Policy{sched.WAAC, sched.WAAM}, bound)
+		if err != nil {
+			return nil, err
+		}
+		optTput := 0.0
+		if opt.Found {
+			if optRun, err := d.run.Run(opt.Best.Config, opt.Best.Alloc, reqs); err == nil {
+				optTput = optRun.Stats.EffectiveTput()
+			}
+		}
+		cells = append(cells, ShiftCell{
+			Dimension: v.dim, Value: v.value,
+			NonAdjustedTput: staleTput, OptimalTput: optTput,
+			P99LatencyNorm: p99 / math.Max(baseP99, 1e-12),
+			MeetsBound:     p99 < bound,
+		})
+	}
+	return cells, nil
+}
+
+// shiftedRequests samples correlated requests with a replaced output
+// marginal.
+func shiftedRequests(c *Context, task workload.Task, out *seqdist.Dist) ([]workload.Request, error) {
+	in, err := task.In.Dist()
+	if err != nil {
+		return nil, err
+	}
+	biv := seqdist.Bivariate{In: in, Out: out, Rho: 0}
+	r := rand.New(rand.NewSource(c.Seed + 1))
+	reqs := make([]workload.Request, c.Requests)
+	for i := range reqs {
+		x, y := biv.Sample(r)
+		reqs[i] = workload.Request{ID: i, InLen: x, OutLen: y}
+	}
+	return reqs, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

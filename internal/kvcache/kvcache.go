@@ -1,0 +1,289 @@
+// Package kvcache implements the key/value memorization-cache managers
+// used by the execution engines.
+//
+// Three management disciplines appear in the paper:
+//
+//   - Reserved: FasterTransformer/DSI reserve the worst-case sequence
+//     length for every query up front and never early-terminate, wasting
+//     memory and compute on completed queries (§2).
+//   - Compacting: ExeGPT's XRunner early-terminates completed queries
+//     and compacts their cache entries (§3); memory tracks live tokens
+//     plus a transient fragmentation that compaction reclaims.
+//   - Paged: vLLM's PagedAttention allocates fixed-size pages on demand,
+//     bounding waste to under one page per query (§2).
+//
+// All managers account bytes against a shared hw.MemTracker so the
+// runner can detect out-of-memory conditions (e.g. WAA on 175B+ models,
+// §7.4).
+package kvcache
+
+import (
+	"fmt"
+
+	"exegpt/internal/hw"
+)
+
+// Manager is the interface the execution engines program against.
+type Manager interface {
+	// Admit reserves cache space for a new query with the given prompt
+	// length (tokens already in cache after prefill) and, for reserving
+	// managers, the worst-case total length.
+	Admit(id, promptTokens, maxTokens int) error
+	// Append extends a query's cache by one generated token.
+	Append(id int) error
+	// Release frees a completed (or evicted) query's cache.
+	Release(id int) error
+	// LiveTokens returns the number of tokens currently cached.
+	LiveTokens() int64
+	// UsedBytes returns the bytes charged to the underlying tracker.
+	UsedBytes() int64
+}
+
+// Reserved reserves maxTokens per query up front (FT/DSI style).
+type Reserved struct {
+	mem           *hw.MemTracker
+	bytesPerToken int64
+	queries       map[int]int64 // id -> reserved bytes
+	liveTokens    map[int]int64
+}
+
+// NewReserved returns a worst-case-reserving manager.
+func NewReserved(mem *hw.MemTracker, bytesPerToken int64) *Reserved {
+	return &Reserved{mem: mem, bytesPerToken: bytesPerToken,
+		queries: make(map[int]int64), liveTokens: make(map[int]int64)}
+}
+
+// Admit implements Manager.
+func (m *Reserved) Admit(id, promptTokens, maxTokens int) error {
+	if _, ok := m.queries[id]; ok {
+		return fmt.Errorf("kvcache: query %d already admitted", id)
+	}
+	if maxTokens < promptTokens {
+		return fmt.Errorf("kvcache: maxTokens %d < promptTokens %d", maxTokens, promptTokens)
+	}
+	n := int64(maxTokens) * m.bytesPerToken
+	if err := m.mem.Alloc(n); err != nil {
+		return err
+	}
+	m.queries[id] = n
+	m.liveTokens[id] = int64(promptTokens)
+	return nil
+}
+
+// Append implements Manager; reserved space is pre-paid, so appends only
+// advance the live-token count.
+func (m *Reserved) Append(id int) error {
+	if _, ok := m.queries[id]; !ok {
+		return fmt.Errorf("kvcache: append to unknown query %d", id)
+	}
+	m.liveTokens[id]++
+	return nil
+}
+
+// Release implements Manager.
+func (m *Reserved) Release(id int) error {
+	n, ok := m.queries[id]
+	if !ok {
+		return fmt.Errorf("kvcache: release of unknown query %d", id)
+	}
+	m.mem.Free(n)
+	delete(m.queries, id)
+	delete(m.liveTokens, id)
+	return nil
+}
+
+// LiveTokens implements Manager.
+func (m *Reserved) LiveTokens() int64 {
+	var t int64
+	for _, n := range m.liveTokens {
+		t += n
+	}
+	return t
+}
+
+// UsedBytes implements Manager.
+func (m *Reserved) UsedBytes() int64 {
+	var t int64
+	for _, n := range m.queries {
+		t += n
+	}
+	return t
+}
+
+// Compacting allocates exactly the live tokens and reclaims released
+// queries' space via compaction (ExeGPT XRunner style). Released bytes
+// remain charged as fragmentation until Compact is called; Compact
+// returns the number of bytes that had to be moved, which the runner can
+// convert into a time cost.
+type Compacting struct {
+	mem           *hw.MemTracker
+	bytesPerToken int64
+	tokens        map[int]int64
+	fragBytes     int64
+}
+
+// NewCompacting returns an exact-size manager with explicit compaction.
+func NewCompacting(mem *hw.MemTracker, bytesPerToken int64) *Compacting {
+	return &Compacting{mem: mem, bytesPerToken: bytesPerToken, tokens: make(map[int]int64)}
+}
+
+// Admit implements Manager; maxTokens is ignored (no over-reservation).
+func (m *Compacting) Admit(id, promptTokens, maxTokens int) error {
+	if _, ok := m.tokens[id]; ok {
+		return fmt.Errorf("kvcache: query %d already admitted", id)
+	}
+	n := int64(promptTokens) * m.bytesPerToken
+	if err := m.mem.Alloc(n); err != nil {
+		return err
+	}
+	m.tokens[id] = int64(promptTokens)
+	return nil
+}
+
+// Append implements Manager.
+func (m *Compacting) Append(id int) error {
+	if _, ok := m.tokens[id]; !ok {
+		return fmt.Errorf("kvcache: append to unknown query %d", id)
+	}
+	if err := m.mem.Alloc(m.bytesPerToken); err != nil {
+		return err
+	}
+	m.tokens[id]++
+	return nil
+}
+
+// Release implements Manager: the space becomes fragmentation until the
+// next Compact.
+func (m *Compacting) Release(id int) error {
+	n, ok := m.tokens[id]
+	if !ok {
+		return fmt.Errorf("kvcache: release of unknown query %d", id)
+	}
+	m.fragBytes += n * m.bytesPerToken
+	delete(m.tokens, id)
+	return nil
+}
+
+// Compact reclaims fragmentation and returns the bytes of live cache
+// moved (an upper bound: all live bytes shift left past the holes).
+func (m *Compacting) Compact() (movedBytes int64) {
+	if m.fragBytes == 0 {
+		return 0
+	}
+	moved := m.LiveTokens() * m.bytesPerToken
+	m.mem.Free(m.fragBytes)
+	m.fragBytes = 0
+	return moved
+}
+
+// FragBytes returns the bytes awaiting compaction.
+func (m *Compacting) FragBytes() int64 { return m.fragBytes }
+
+// LiveTokens implements Manager.
+func (m *Compacting) LiveTokens() int64 {
+	var t int64
+	for _, n := range m.tokens {
+		t += n
+	}
+	return t
+}
+
+// UsedBytes implements Manager.
+func (m *Compacting) UsedBytes() int64 {
+	return m.LiveTokens()*m.bytesPerToken + m.fragBytes
+}
+
+// Paged allocates cache in fixed-size pages (vLLM PagedAttention).
+type Paged struct {
+	mem           *hw.MemTracker
+	bytesPerToken int64
+	pageTokens    int64
+	tokens        map[int]int64
+	pages         map[int]int64
+}
+
+// NewPaged returns a paged manager with the given page size in tokens.
+func NewPaged(mem *hw.MemTracker, bytesPerToken int64, pageTokens int) *Paged {
+	if pageTokens < 1 {
+		pageTokens = 1
+	}
+	return &Paged{mem: mem, bytesPerToken: bytesPerToken, pageTokens: int64(pageTokens),
+		tokens: make(map[int]int64), pages: make(map[int]int64)}
+}
+
+func (m *Paged) pagesFor(tokens int64) int64 {
+	return (tokens + m.pageTokens - 1) / m.pageTokens
+}
+
+// Admit implements Manager; maxTokens is ignored (on-demand paging).
+func (m *Paged) Admit(id, promptTokens, maxTokens int) error {
+	if _, ok := m.tokens[id]; ok {
+		return fmt.Errorf("kvcache: query %d already admitted", id)
+	}
+	p := m.pagesFor(int64(promptTokens))
+	if err := m.mem.Alloc(p * m.pageTokens * m.bytesPerToken); err != nil {
+		return err
+	}
+	m.tokens[id] = int64(promptTokens)
+	m.pages[id] = p
+	return nil
+}
+
+// Append implements Manager, allocating a new page when the current one
+// fills.
+func (m *Paged) Append(id int) error {
+	n, ok := m.tokens[id]
+	if !ok {
+		return fmt.Errorf("kvcache: append to unknown query %d", id)
+	}
+	need := m.pagesFor(n + 1)
+	if need > m.pages[id] {
+		if err := m.mem.Alloc(m.pageTokens * m.bytesPerToken); err != nil {
+			return err
+		}
+		m.pages[id] = need
+	}
+	m.tokens[id] = n + 1
+	return nil
+}
+
+// Release implements Manager; pages are freed immediately.
+func (m *Paged) Release(id int) error {
+	p, ok := m.pages[id]
+	if !ok {
+		return fmt.Errorf("kvcache: release of unknown query %d", id)
+	}
+	m.mem.Free(p * m.pageTokens * m.bytesPerToken)
+	delete(m.tokens, id)
+	delete(m.pages, id)
+	return nil
+}
+
+// LiveTokens implements Manager.
+func (m *Paged) LiveTokens() int64 {
+	var t int64
+	for _, n := range m.tokens {
+		t += n
+	}
+	return t
+}
+
+// UsedBytes implements Manager.
+func (m *Paged) UsedBytes() int64 {
+	var p int64
+	for _, n := range m.pages {
+		p += n
+	}
+	return p * m.pageTokens * m.bytesPerToken
+}
+
+// InternalWaste returns allocated-but-unused bytes (paging overhead).
+func (m *Paged) InternalWaste() int64 {
+	return m.UsedBytes() - m.LiveTokens()*m.bytesPerToken
+}
+
+var (
+	_ Manager = (*Reserved)(nil)
+	_ Manager = (*Compacting)(nil)
+	_ Manager = (*Paged)(nil)
+)

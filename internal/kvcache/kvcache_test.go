@@ -1,0 +1,249 @@
+package kvcache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"exegpt/internal/hw"
+)
+
+func trackers() *hw.MemTracker { return hw.NewMemTracker(1 << 20) }
+
+func TestReservedWorstCase(t *testing.T) {
+	mem := trackers()
+	m := NewReserved(mem, 10)
+	if err := m.Admit(1, 5, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.UsedBytes() != 1000 || mem.Used() != 1000 {
+		t.Fatalf("reserved bytes = %d, want 1000", m.UsedBytes())
+	}
+	if m.LiveTokens() != 5 {
+		t.Fatalf("live tokens = %d", m.LiveTokens())
+	}
+	for i := 0; i < 3; i++ {
+		if err := m.Append(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.LiveTokens() != 8 || m.UsedBytes() != 1000 {
+		t.Fatal("append should not change reserved bytes")
+	}
+	if err := m.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Used() != 0 || m.LiveTokens() != 0 {
+		t.Fatal("release should free everything")
+	}
+}
+
+func TestReservedErrors(t *testing.T) {
+	m := NewReserved(trackers(), 10)
+	if err := m.Admit(1, 10, 5); err == nil {
+		t.Fatal("max < prompt should fail")
+	}
+	if err := m.Admit(1, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Admit(1, 1, 10); err == nil {
+		t.Fatal("double admit should fail")
+	}
+	if err := m.Append(2); err == nil {
+		t.Fatal("append unknown should fail")
+	}
+	if err := m.Release(2); err == nil {
+		t.Fatal("release unknown should fail")
+	}
+}
+
+func TestReservedOOM(t *testing.T) {
+	mem := hw.NewMemTracker(100)
+	m := NewReserved(mem, 10)
+	if err := m.Admit(1, 1, 20); err == nil {
+		t.Fatal("expected OOM")
+	}
+	if mem.Used() != 0 {
+		t.Fatal("failed admit must not leak")
+	}
+}
+
+func TestCompactingExactAndFrag(t *testing.T) {
+	mem := trackers()
+	m := NewCompacting(mem, 10)
+	if err := m.Admit(1, 50, 9999); err != nil {
+		t.Fatal(err)
+	}
+	if m.UsedBytes() != 500 {
+		t.Fatalf("used = %d, want exactly 500 (no over-reservation)", m.UsedBytes())
+	}
+	if err := m.Admit(2, 30, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Append(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	// Released bytes linger as fragmentation.
+	if m.FragBytes() != 500 || m.UsedBytes() != 500+310 {
+		t.Fatalf("frag=%d used=%d", m.FragBytes(), m.UsedBytes())
+	}
+	moved := m.Compact()
+	if moved != 310 {
+		t.Fatalf("compact moved %d, want 310 (live bytes)", moved)
+	}
+	if m.FragBytes() != 0 || m.UsedBytes() != 310 || mem.Used() != 310 {
+		t.Fatalf("after compact frag=%d used=%d mem=%d", m.FragBytes(), m.UsedBytes(), mem.Used())
+	}
+	if m.Compact() != 0 {
+		t.Fatal("compact with no frag should be free")
+	}
+}
+
+func TestCompactingErrors(t *testing.T) {
+	m := NewCompacting(trackers(), 10)
+	if err := m.Append(1); err == nil {
+		t.Fatal("append unknown should fail")
+	}
+	if err := m.Release(1); err == nil {
+		t.Fatal("release unknown should fail")
+	}
+	if err := m.Admit(1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Admit(1, 1, 0); err == nil {
+		t.Fatal("double admit should fail")
+	}
+}
+
+func TestPagedGranularity(t *testing.T) {
+	mem := trackers()
+	m := NewPaged(mem, 10, 16)
+	if err := m.Admit(1, 17, 0); err != nil {
+		t.Fatal(err)
+	}
+	// 17 tokens -> 2 pages of 16 tokens.
+	if m.UsedBytes() != 2*16*10 {
+		t.Fatalf("used = %d, want 320", m.UsedBytes())
+	}
+	if m.InternalWaste() != (32-17)*10 {
+		t.Fatalf("waste = %d", m.InternalWaste())
+	}
+	// Appends within the page are free; crossing allocates one page.
+	for i := 0; i < 15; i++ {
+		if err := m.Append(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.UsedBytes() != 320 {
+		t.Fatalf("used = %d, want 320 (page not full)", m.UsedBytes())
+	}
+	if err := m.Append(1); err != nil {
+		t.Fatal(err)
+	}
+	if m.UsedBytes() != 480 {
+		t.Fatalf("used = %d, want 480 after page crossing", m.UsedBytes())
+	}
+	if err := m.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Used() != 0 {
+		t.Fatal("paged release must free all pages")
+	}
+}
+
+func TestPagedErrorsAndClamp(t *testing.T) {
+	m := NewPaged(trackers(), 10, 0) // clamps page to 1 token
+	if err := m.Admit(1, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.InternalWaste() != 0 {
+		t.Fatal("1-token pages have no waste")
+	}
+	if err := m.Admit(1, 1, 0); err == nil {
+		t.Fatal("double admit should fail")
+	}
+	if err := m.Append(9); err == nil {
+		t.Fatal("append unknown should fail")
+	}
+	if err := m.Release(9); err == nil {
+		t.Fatal("release unknown should fail")
+	}
+}
+
+// Paged waste is bounded by one page per query; Reserved waste is
+// unbounded (worst-case reservation).
+func TestWasteComparison(t *testing.T) {
+	mem1, mem2 := trackers(), trackers()
+	res := NewReserved(mem1, 1)
+	pag := NewPaged(mem2, 1, 16)
+	for id := 0; id < 10; id++ {
+		if err := res.Admit(id, 10, 640); err != nil {
+			t.Fatal(err)
+		}
+		if err := pag.Admit(id, 10, 640); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res.UsedBytes() <= pag.UsedBytes() {
+		t.Fatalf("reserved %d should waste more than paged %d", res.UsedBytes(), pag.UsedBytes())
+	}
+	if pag.InternalWaste() > 10*16 {
+		t.Fatalf("paged waste %d exceeds one page per query", pag.InternalWaste())
+	}
+}
+
+// Property: for any op sequence, manager accounting matches the tracker
+// and live tokens never go negative.
+func TestQuickManagersConsistent(t *testing.T) {
+	f := func(ops []uint8, kind uint8) bool {
+		mem := hw.NewMemTracker(1 << 30)
+		var m Manager
+		switch kind % 3 {
+		case 0:
+			m = NewReserved(mem, 4)
+		case 1:
+			m = NewCompacting(mem, 4)
+		default:
+			m = NewPaged(mem, 4, 8)
+		}
+		live := map[int]bool{}
+		next := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				if m.Admit(next, int(op%50)+1, 1024) == nil {
+					live[next] = true
+				}
+				next++
+			case 1:
+				for id := range live {
+					if err := m.Append(id); err != nil {
+						return false
+					}
+					break
+				}
+			case 2:
+				for id := range live {
+					if err := m.Release(id); err != nil {
+						return false
+					}
+					delete(live, id)
+					break
+				}
+			}
+			if m.LiveTokens() < 0 || m.UsedBytes() < 0 {
+				return false
+			}
+			if m.UsedBytes() != mem.Used() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(10))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+// Package metrics provides the measurement utilities used across the
+// evaluation: latency recorders with percentile queries, throughput
+// computation, and simple online statistics.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Recorder accumulates per-query latency samples (seconds).
+type Recorder struct {
+	samples []float64
+	sorted  bool
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Add records one latency sample.
+func (r *Recorder) Add(v float64) {
+	r.samples = append(r.samples, v)
+	r.sorted = false
+}
+
+// Count returns the number of samples.
+func (r *Recorder) Count() int { return len(r.samples) }
+
+// Mean returns the sample mean, or 0 if empty.
+func (r *Recorder) Mean() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range r.samples {
+		s += v
+	}
+	return s / float64(len(r.samples))
+}
+
+// Max returns the largest sample, or 0 if empty.
+func (r *Recorder) Max() float64 {
+	m := 0.0
+	for _, v := range r.samples {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Percentile returns the q-quantile (q in [0,1]) using the
+// nearest-rank method, or 0 if empty.
+func (r *Recorder) Percentile(q float64) float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	if !r.sorted {
+		sort.Float64s(r.samples)
+		r.sorted = true
+	}
+	if q <= 0 {
+		return r.samples[0]
+	}
+	if q >= 1 {
+		return r.samples[len(r.samples)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(r.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return r.samples[idx]
+}
+
+// Std returns the sample standard deviation, or 0 for <2 samples.
+func (r *Recorder) Std() float64 {
+	n := len(r.samples)
+	if n < 2 {
+		return 0
+	}
+	m := r.Mean()
+	v := 0.0
+	for _, x := range r.samples {
+		v += (x - m) * (x - m)
+	}
+	return math.Sqrt(v / float64(n-1))
+}
+
+// PctlRange returns the half-width of the symmetric [1-q, q] percentile
+// interval around the mean (used in Table 7 to report "99th pctl Range"
+// of stage execution times).
+func (r *Recorder) PctlRange(q float64) float64 {
+	hi := r.Percentile(q)
+	lo := r.Percentile(1 - q)
+	return (hi - lo) / 2
+}
+
+// Throughput converts completed queries over elapsed seconds to
+// sequences per second.
+func Throughput(completed int, elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(completed) / elapsed
+}
+
+// RunStats summarizes an execution for reporting.
+type RunStats struct {
+	Completed  int
+	Elapsed    float64 // seconds of (virtual) wall time
+	Throughput float64 // sequences/second over the full run
+	// SteadyTput is the completion rate over the middle half of the
+	// completion timeline, excluding warmup and drain; zero when there
+	// are too few completions to window.
+	SteadyTput float64
+	MeanLat    float64
+	P99Lat     float64
+	MaxLat     float64
+}
+
+// SteadyThroughput computes the completion rate between the 25th and
+// 75th percentile completion times, which excludes the pipeline warmup
+// and the drain tail of a finite request stream.
+func SteadyThroughput(completionTimes []float64) float64 {
+	n := len(completionTimes)
+	if n < 8 {
+		return 0
+	}
+	sorted := append([]float64(nil), completionTimes...)
+	sort.Float64s(sorted)
+	lo, hi := n/4, (3*n)/4
+	dt := sorted[hi] - sorted[lo]
+	if dt <= 0 {
+		return 0
+	}
+	return float64(hi-lo) / dt
+}
+
+// EffectiveTput returns SteadyTput when available, else Throughput.
+func (s RunStats) EffectiveTput() float64 {
+	if s.SteadyTput > 0 {
+		return s.SteadyTput
+	}
+	return s.Throughput
+}
+
+// Summarize builds RunStats from a recorder and elapsed time.
+func Summarize(r *Recorder, elapsed float64) RunStats {
+	return RunStats{
+		Completed:  r.Count(),
+		Elapsed:    elapsed,
+		Throughput: Throughput(r.Count(), elapsed),
+		MeanLat:    r.Mean(),
+		P99Lat:     r.Percentile(0.99),
+		MaxLat:     r.Max(),
+	}
+}
+
+// String renders the stats compactly.
+func (s RunStats) String() string {
+	return fmt.Sprintf("completed=%d elapsed=%.2fs tput=%.2f seq/s mean=%.3fs p99=%.3fs max=%.3fs",
+		s.Completed, s.Elapsed, s.Throughput, s.MeanLat, s.P99Lat, s.MaxLat)
+}

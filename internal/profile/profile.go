@@ -1,0 +1,436 @@
+// Package profile implements XProfiler (§3).
+//
+// For a single encoding and decoding layer the profiler separately
+// measures the execution times of the attention kernel and the rest of
+// the layer, considering all feasible tensor-parallel degrees. For the
+// attention kernel it sweeps batch sizes and, per batch size, sequence
+// lengths; for the rest it sweeps input sizes. It also measures the
+// synchronization overhead of tensor- and pipeline-parallel execution.
+//
+// In this reproduction "measuring" samples the analytical cost model
+// (internal/costmodel) instead of CUDA kernels; everything downstream
+// (XSimulator, XScheduler) consumes only the resulting Table, exactly as
+// in the paper. Tables serialize to JSON so profiles can be captured
+// once per model and cluster (§7.7) and reused.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"exegpt/internal/costmodel"
+	"exegpt/internal/hw"
+	"exegpt/internal/model"
+)
+
+// LinkClass selects which interconnect a communication crosses.
+type LinkClass int
+
+// Link classes.
+const (
+	IntraNode LinkClass = iota // GPUs within one machine
+	InterNode                  // GPUs on different machines
+	numLinkClasses
+)
+
+// AlphaBeta is a fitted latency/inverse-bandwidth communication cost:
+// time(bytes) = Alpha + Beta*bytes.
+type AlphaBeta struct {
+	Alpha float64 `json:"alpha"`
+	Beta  float64 `json:"beta"`
+}
+
+// Time evaluates the model for n bytes.
+func (c AlphaBeta) Time(n int64) float64 {
+	if n <= 0 && c.Alpha == 0 {
+		return 0
+	}
+	return c.Alpha + c.Beta*float64(n)
+}
+
+// Table holds the measured per-layer kernel times and communication
+// costs for one model on one cluster's GPU type.
+type Table struct {
+	ModelName string `json:"model"`
+	GPUName   string `json:"gpu"`
+
+	// TPDegrees lists the profiled tensor-parallel degrees (ascending).
+	TPDegrees []int `json:"tp_degrees"`
+	// TokenGrid / SeqGrid / BatchGrid / CtxGrid are the sweep points.
+	TokenGrid []int `json:"token_grid"`
+	SeqGrid   []int `json:"seq_grid"`
+	BatchGrid []int `json:"batch_grid"`
+	CtxGrid   []int `json:"ctx_grid"`
+
+	// EncRest[tp][tok]: rest-of-layer encode time.
+	EncRest [][]float64 `json:"enc_rest"`
+	// EncAttn[tp][tok][seq]: encode attention-kernel time.
+	EncAttn [][][]float64 `json:"enc_attn"`
+	// DecRest[tp][batch]: rest-of-layer decode time.
+	DecRest [][]float64 `json:"dec_rest"`
+	// DecAttn[tp][batch][ctx]: decode attention-kernel time; ctx is the
+	// combined self+cross attention context per query.
+	DecAttn [][][]float64 `json:"dec_attn"`
+
+	// AllReduce[tp][linkClass] is the fitted tensor-parallel
+	// synchronization cost per all-reduce of n bytes.
+	AllReduce [][]AlphaBeta `json:"all_reduce"`
+	// P2P[linkClass] is the fitted pipeline-parallel handover cost.
+	P2P []AlphaBeta `json:"p2p"`
+	// HostDMA is the fitted GPU<->host staging cost (KV handover, §3).
+	HostDMA AlphaBeta `json:"host_dma"`
+
+	// ActTokenBytes is the activation bytes per token (Hidden *
+	// BytesPerParam), used to size sync messages.
+	ActTokenBytes int64 `json:"act_token_bytes"`
+	// KVTokenBytes is the full-model KV-cache bytes per token.
+	KVTokenBytes int64 `json:"kv_token_bytes"`
+	// EncSyncsPerLayer/DecSyncsPerLayer: all-reduces per layer (2 and 3).
+	EncSyncsPerLayer int `json:"enc_syncs_per_layer"`
+	DecSyncsPerLayer int `json:"dec_syncs_per_layer"`
+}
+
+// Profiler sweeps a cost-model engine into a Table.
+type Profiler struct {
+	Engine  *costmodel.Engine
+	Cluster hw.Cluster
+}
+
+// New returns a Profiler for the model on the cluster's GPU type.
+func New(m model.Model, cluster hw.Cluster) (*Profiler, error) {
+	if err := cluster.Validate(); err != nil {
+		return nil, err
+	}
+	eng, err := costmodel.New(m, cluster.GPU)
+	if err != nil {
+		return nil, err
+	}
+	return &Profiler{Engine: eng, Cluster: cluster}, nil
+}
+
+// geomGrid returns a roughly geometric integer grid from 1 to max.
+func geomGrid(max int) []int {
+	var g []int
+	for v := 1; v < max; v = growGrid(v) {
+		g = append(g, v)
+	}
+	return append(g, max)
+}
+
+func growGrid(v int) int {
+	next := v * 2
+	if next == v {
+		next = v + 1
+	}
+	return next
+}
+
+// feasibleTPs returns the tensor-parallel degrees profiled: powers of
+// two up to one node's GPU count.
+func (p *Profiler) feasibleTPs() []int {
+	var tps []int
+	for tp := 1; tp <= p.Cluster.GPUsPerNode; tp *= 2 {
+		tps = append(tps, tp)
+	}
+	return tps
+}
+
+// Run performs all sweeps and returns the profile table.
+func (p *Profiler) Run() *Table {
+	m := p.Engine.Model
+	tps := p.feasibleTPs()
+	t := &Table{
+		ModelName: m.Name,
+		GPUName:   p.Engine.GPU.Name,
+		TPDegrees: tps,
+		TokenGrid: geomGrid(1 << 17),
+		SeqGrid:   geomGrid(1 << 12),
+		BatchGrid: geomGrid(1 << 12),
+		CtxGrid:   geomGrid(1 << 13),
+
+		ActTokenBytes:    int64(m.Hidden) * int64(m.BytesPerParam),
+		KVTokenBytes:     m.KVBytesPerToken(),
+		EncSyncsPerLayer: 2,
+		DecSyncsPerLayer: 3,
+	}
+	for _, tp := range tps {
+		encRest := make([]float64, len(t.TokenGrid))
+		encAttn := make([][]float64, len(t.TokenGrid))
+		for i, tok := range t.TokenGrid {
+			encRest[i] = p.Engine.EncodeRestTime(tok, tp)
+			row := make([]float64, len(t.SeqGrid))
+			for j, seq := range t.SeqGrid {
+				row[j] = p.Engine.EncodeAttnTime(tok, float64(seq), tp)
+			}
+			encAttn[i] = row
+		}
+		t.EncRest = append(t.EncRest, encRest)
+		t.EncAttn = append(t.EncAttn, encAttn)
+
+		decRest := make([]float64, len(t.BatchGrid))
+		decAttn := make([][]float64, len(t.BatchGrid))
+		for i, b := range t.BatchGrid {
+			decRest[i] = p.Engine.DecodeRestTime(b, tp)
+			row := make([]float64, len(t.CtxGrid))
+			for j, ctx := range t.CtxGrid {
+				row[j] = p.Engine.DecodeAttnTime(b, float64(ctx), 0, tp)
+			}
+			decAttn[i] = row
+		}
+		t.DecRest = append(t.DecRest, decRest)
+		t.DecAttn = append(t.DecAttn, decAttn)
+
+		// Fit all-reduce alpha/beta per link class from two samples.
+		arRow := make([]AlphaBeta, numLinkClasses)
+		for lc, link := range p.links() {
+			arRow[lc] = fitAlphaBeta(
+				func(n int64) float64 { return hw.AllReduceTime(link, tp, n) })
+		}
+		t.AllReduce = append(t.AllReduce, arRow)
+	}
+	for _, link := range p.links() {
+		t.P2P = append(t.P2P, fitAlphaBeta(
+			func(n int64) float64 { return hw.P2PTime(link, n) }))
+	}
+	t.HostDMA = fitAlphaBeta(func(n int64) float64 { return hw.P2PTime(hw.HostDMA, n) })
+	return t
+}
+
+func (p *Profiler) links() []hw.Link {
+	return []hw.Link{p.Cluster.IntraNode, p.Cluster.InterNode}
+}
+
+// fitAlphaBeta samples a communication primitive at two sizes and fits
+// the linear alpha/beta model.
+func fitAlphaBeta(f func(int64) float64) AlphaBeta {
+	const n1, n2 = 1 << 10, 1 << 26
+	t1, t2 := f(n1), f(n2)
+	beta := (t2 - t1) / float64(n2-n1)
+	alpha := t1 - beta*n1
+	if alpha < 0 {
+		alpha = 0
+	}
+	return AlphaBeta{Alpha: alpha, Beta: beta}
+}
+
+// tpIndex returns the index of the closest profiled TP degree <= tp,
+// erroring on degrees below 1.
+func (t *Table) tpIndex(tp int) (int, error) {
+	for i, d := range t.TPDegrees {
+		if d == tp {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("profile: TP degree %d not profiled (have %v)", tp, t.TPDegrees)
+}
+
+// interp1 linearly interpolates vals over the integer grid at x,
+// clamping outside the grid range.
+func interp1(grid []int, vals []float64, x float64) float64 {
+	if len(grid) == 0 {
+		return 0
+	}
+	if x <= float64(grid[0]) {
+		return vals[0]
+	}
+	last := len(grid) - 1
+	if x >= float64(grid[last]) {
+		// Extrapolate linearly from the last segment: workloads beyond
+		// the sweep maximum scale linearly in the roofline regime.
+		if last == 0 {
+			return vals[0]
+		}
+		x0, x1 := float64(grid[last-1]), float64(grid[last])
+		return vals[last] + (vals[last]-vals[last-1])*(x-x1)/(x1-x0)
+	}
+	lo := 0
+	hi := last
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if float64(grid[mid]) <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	x0, x1 := float64(grid[lo]), float64(grid[hi])
+	f := (x - x0) / (x1 - x0)
+	return vals[lo]*(1-f) + vals[hi]*f
+}
+
+// interp2 bilinearly interpolates a [len(g1)][len(g2)] table.
+func interp2(g1, g2 []int, vals [][]float64, x, y float64) float64 {
+	row := make([]float64, len(g1))
+	for i := range g1 {
+		row[i] = interp1(g2, vals[i], y)
+	}
+	return interp1(g1, row, x)
+}
+
+// EncodeRest returns the rest-of-layer encode time for totalTokens.
+func (t *Table) EncodeRest(totalTokens int, tp int) (float64, error) {
+	i, err := t.tpIndex(tp)
+	if err != nil {
+		return 0, err
+	}
+	if totalTokens <= 0 {
+		return 0, nil
+	}
+	return interp1(t.TokenGrid, t.EncRest[i], float64(totalTokens)), nil
+}
+
+// EncodeAttn returns the encode attention time.
+func (t *Table) EncodeAttn(totalTokens int, meanSeq float64, tp int) (float64, error) {
+	i, err := t.tpIndex(tp)
+	if err != nil {
+		return 0, err
+	}
+	if totalTokens <= 0 {
+		return 0, nil
+	}
+	return interp2(t.TokenGrid, t.SeqGrid, t.EncAttn[i], float64(totalTokens), meanSeq), nil
+}
+
+// DecodeRest returns the rest-of-layer decode time for one iteration.
+func (t *Table) DecodeRest(batch int, tp int) (float64, error) {
+	i, err := t.tpIndex(tp)
+	if err != nil {
+		return 0, err
+	}
+	if batch <= 0 {
+		return 0, nil
+	}
+	return interp1(t.BatchGrid, t.DecRest[i], float64(batch)), nil
+}
+
+// DecodeAttn returns the decode attention time; ctx is the combined
+// self+cross context length per query.
+func (t *Table) DecodeAttn(batch int, ctx float64, tp int) (float64, error) {
+	i, err := t.tpIndex(tp)
+	if err != nil {
+		return 0, err
+	}
+	if batch <= 0 {
+		return 0, nil
+	}
+	return interp2(t.BatchGrid, t.CtxGrid, t.DecAttn[i], float64(batch), ctx), nil
+}
+
+// SyncTime returns the tensor-parallel synchronization time for one
+// layer of the given kind processing totalTokens tokens.
+func (t *Table) SyncTime(encoder bool, totalTokens, tp int, lc LinkClass) (float64, error) {
+	if tp <= 1 {
+		return 0, nil
+	}
+	i, err := t.tpIndex(tp)
+	if err != nil {
+		return 0, err
+	}
+	if lc < 0 || int(lc) >= len(t.AllReduce[i]) {
+		return 0, fmt.Errorf("profile: bad link class %d", lc)
+	}
+	syncs := t.EncSyncsPerLayer
+	if !encoder {
+		syncs = t.DecSyncsPerLayer
+	}
+	bytes := int64(totalTokens) * t.ActTokenBytes
+	return float64(syncs) * t.AllReduce[i][lc].Time(bytes), nil
+}
+
+// EncodeLayer returns the full per-layer encode time including sync.
+func (t *Table) EncodeLayer(totalTokens int, meanSeq float64, tp int, lc LinkClass) (float64, error) {
+	rest, err := t.EncodeRest(totalTokens, tp)
+	if err != nil {
+		return 0, err
+	}
+	attn, err := t.EncodeAttn(totalTokens, meanSeq, tp)
+	if err != nil {
+		return 0, err
+	}
+	sync, err := t.SyncTime(true, totalTokens, tp, lc)
+	if err != nil {
+		return 0, err
+	}
+	return rest + attn + sync, nil
+}
+
+// DecodeLayer returns the full per-layer decode-iteration time
+// including sync.
+func (t *Table) DecodeLayer(batch int, ctx float64, tp int, lc LinkClass) (float64, error) {
+	rest, err := t.DecodeRest(batch, tp)
+	if err != nil {
+		return 0, err
+	}
+	attn, err := t.DecodeAttn(batch, ctx, tp)
+	if err != nil {
+		return 0, err
+	}
+	sync, err := t.SyncTime(false, batch, tp, lc)
+	if err != nil {
+		return 0, err
+	}
+	return rest + attn + sync, nil
+}
+
+// PPSend returns the pipeline handover time for totalTokens activations.
+func (t *Table) PPSend(totalTokens int, lc LinkClass) (float64, error) {
+	if lc < 0 || int(lc) >= len(t.P2P) {
+		return 0, fmt.Errorf("profile: bad link class %d", lc)
+	}
+	if totalTokens <= 0 {
+		return 0, nil
+	}
+	return t.P2P[lc].Time(int64(totalTokens) * t.ActTokenBytes), nil
+}
+
+// KVTransfer returns the encoder→decoder KV handover time for tokens
+// prompt tokens, staged through host memory (two DMA hops).
+func (t *Table) KVTransfer(tokens int) float64 {
+	if tokens <= 0 {
+		return 0
+	}
+	return 2 * t.HostDMA.Time(int64(tokens)*t.KVTokenBytes)
+}
+
+// MarshalJSON / round-trip helpers.
+
+// Encode serializes the table to JSON.
+func (t *Table) Encode() ([]byte, error) { return json.Marshal(t) }
+
+// Decode parses a table from JSON.
+func Decode(data []byte) (*Table, error) {
+	var t Table
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("profile: decode: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// Validate checks structural consistency.
+func (t *Table) Validate() error {
+	if len(t.TPDegrees) == 0 {
+		return fmt.Errorf("profile: no TP degrees")
+	}
+	if len(t.EncRest) != len(t.TPDegrees) || len(t.EncAttn) != len(t.TPDegrees) ||
+		len(t.DecRest) != len(t.TPDegrees) || len(t.DecAttn) != len(t.TPDegrees) ||
+		len(t.AllReduce) != len(t.TPDegrees) {
+		return fmt.Errorf("profile: table rows do not match TP degrees")
+	}
+	for i := range t.TPDegrees {
+		if len(t.EncRest[i]) != len(t.TokenGrid) || len(t.DecRest[i]) != len(t.BatchGrid) {
+			return fmt.Errorf("profile: grid size mismatch at tp index %d", i)
+		}
+	}
+	for _, row := range t.EncRest {
+		for _, v := range row {
+			if v < 0 || math.IsNaN(v) {
+				return fmt.Errorf("profile: invalid encode time %v", v)
+			}
+		}
+	}
+	return nil
+}

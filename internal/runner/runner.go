@@ -1,0 +1,684 @@
+// Package runner implements XRunner: the execution engine that enforces
+// a schedule produced by XScheduler (§3).
+//
+// The engine executes over the simulated GPU cluster in virtual time.
+// It implements the paper's runtime mechanisms:
+//
+//   - early termination of completed queries with key/value-cache
+//     compaction;
+//   - decoupled encoding/decoding with KV handover through host memory
+//     for WAA scheduling;
+//   - decoder micro-batches and partial tensor parallelism;
+//   - dynamic workload adjustment (§5.2): the encoder batch is grown or
+//     shrunk to keep the encoder token workload and the decoder batch
+//     near their scheduled averages.
+//
+// RRA executes as a synchronized phase loop (one encoding phase then ND
+// decoding iterations, Figure 4(a)); WAA runs the encoder and decoder
+// pipelines asynchronously on a discrete-event simulator (Figure 4(b)).
+package runner
+
+import (
+	"fmt"
+	"math"
+
+	"exegpt/internal/eventsim"
+	"exegpt/internal/hw"
+	"exegpt/internal/kvcache"
+	"exegpt/internal/metrics"
+	"exegpt/internal/model"
+	"exegpt/internal/profile"
+	"exegpt/internal/sched"
+	"exegpt/internal/workload"
+)
+
+// Engine executes schedules for one model deployment.
+type Engine struct {
+	Model   model.Model
+	Cluster hw.Cluster
+	Prof    *profile.Table
+	// DynamicAdjust enables §5.2 runtime workload adjustment.
+	DynamicAdjust bool
+	// Theta is the workload threshold of §5.2 (fractional deviation
+	// tolerated before adjusting), default 0.1.
+	Theta float64
+	// CompactFrac triggers KV compaction when fragmentation exceeds this
+	// fraction of live bytes.
+	CompactFrac float64
+}
+
+// New returns an engine with paper-default runtime options.
+func New(m model.Model, cluster hw.Cluster, prof *profile.Table) (*Engine, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if prof == nil {
+		return nil, fmt.Errorf("runner: nil profile")
+	}
+	return &Engine{Model: m, Cluster: cluster, Prof: prof,
+		DynamicAdjust: true, Theta: 0.1, CompactFrac: 0.10}, nil
+}
+
+// QueryRecord is the per-query outcome.
+type QueryRecord struct {
+	ID         int
+	Start, End float64 // virtual seconds (generation latency = End-Start)
+	InLen      int
+	OutLen     int
+}
+
+// Result summarizes one execution.
+type Result struct {
+	Stats   metrics.RunStats
+	Records []QueryRecord
+	// EncStage and DecStage record per-phase/iteration single-stage
+	// execution times (Table 7 variance analysis).
+	EncStage, DecStage *metrics.Recorder
+	// PeakDecMemPerGPU is the high-water KV+weight bytes on the most
+	// loaded decode-role GPU.
+	PeakDecMemPerGPU int64
+	// Compactions counts cache-compaction events; CompactionSeconds is
+	// the total time they consumed.
+	Compactions       int
+	CompactionSeconds float64
+	// Iterations counts decode iterations executed.
+	Iterations int
+}
+
+// query is the in-flight state of one request.
+type query struct {
+	req   workload.Request
+	start float64
+	pos   int // generated tokens so far
+}
+
+func (q *query) ctxLen(m model.Model) int { return m.ContextLen(q.req.InLen, q.pos) }
+
+// stageState holds the per-decode-stage memory bookkeeping.
+type stageState struct {
+	stage sched.Stage
+	mem   *hw.MemTracker
+	kv    *kvcache.Compacting
+}
+
+// newStageStates builds KV managers for the decode-role stages, charging
+// weights up front.
+func (e *Engine) newStageStates(alloc sched.Allocation) ([]*stageState, error) {
+	var states []*stageState
+	for _, st := range alloc.Stages {
+		if st.DecLayers == 0 {
+			continue
+		}
+		mem := hw.NewMemTracker(e.Cluster.GPU.MemoryBytes)
+		if err := mem.Alloc(sched.WeightBytesPerGPU(e.Model, st)); err != nil {
+			return nil, fmt.Errorf("runner: weights do not fit on stage at rank %d: %w", st.FirstRank, err)
+		}
+		perToken := e.Model.KVBytesPerTokenLayer() * int64(st.DecLayers) / int64(st.TP)
+		states = append(states, &stageState{
+			stage: st,
+			mem:   mem,
+			kv:    kvcache.NewCompacting(mem, perToken),
+		})
+	}
+	if len(states) == 0 {
+		return nil, fmt.Errorf("runner: allocation has no decode stages")
+	}
+	return states, nil
+}
+
+// admit reserves KV space for a query's cached prompt tokens on every
+// decode stage; on failure it rolls back.
+func admit(states []*stageState, id, promptTokens int) error {
+	for i, st := range states {
+		if err := st.kv.Admit(id, promptTokens, 0); err != nil {
+			for _, prev := range states[:i] {
+				_ = prev.kv.Release(id)
+				prev.kv.Compact()
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// appendToken extends a query's cache on every stage.
+func appendToken(states []*stageState, id int) error {
+	for _, st := range states {
+		if err := st.kv.Append(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// release frees a completed query everywhere.
+func release(states []*stageState, id int) {
+	for _, st := range states {
+		_ = st.kv.Release(id)
+	}
+}
+
+// maybeCompact compacts fragmented stages and returns the time cost
+// (bytes moved at device bandwidth) and whether compaction ran.
+func (e *Engine) maybeCompact(states []*stageState) (float64, bool) {
+	var cost float64
+	ran := false
+	for _, st := range states {
+		live := st.kv.LiveTokens() * int64(e.Model.KVBytesPerTokenLayer()) * int64(st.stage.DecLayers) / int64(st.stage.TP)
+		if live < 1 {
+			live = 1
+		}
+		if float64(st.kv.FragBytes()) > e.CompactFrac*float64(live) {
+			moved := st.kv.Compact()
+			cost = math.Max(cost, float64(moved)/e.Cluster.GPU.MemBandwidth)
+			ran = true
+		}
+	}
+	return cost, ran
+}
+
+func peakMem(states []*stageState) int64 {
+	var peak int64
+	for _, st := range states {
+		if p := st.mem.Peak(); p > peak {
+			peak = p
+		}
+	}
+	return peak
+}
+
+// promptTokens returns the tokens a request pins in the decode-side KV
+// cache after prefill.
+func (e *Engine) promptTokens(r workload.Request) int {
+	// Both decoder-only (self-attention over the prompt) and
+	// encoder-decoder models (cross-attention memoization) cache one
+	// entry per input token.
+	return r.InLen
+}
+
+// linkClass mirrors core's stage link classification.
+func linkClass(s sched.Stage) profile.LinkClass {
+	if s.CrossNode {
+		return profile.InterNode
+	}
+	return profile.IntraNode
+}
+
+func (e *Engine) ppClass(from sched.Stage) profile.LinkClass {
+	last := from.FirstRank + from.TP - 1
+	next := (last + 1) % e.Cluster.TotalGPUs()
+	if e.Cluster.NodeOf(last) != e.Cluster.NodeOf(next) {
+		return profile.InterNode
+	}
+	return profile.IntraNode
+}
+
+// encStageTimes returns per-stage encode times for a batch totalling
+// tokens prompt tokens.
+func (e *Engine) encStageTimes(stages []sched.Stage, tokens int, meanSeq float64) ([]float64, error) {
+	out := make([]float64, 0, len(stages))
+	for _, st := range stages {
+		if st.EncLayers == 0 {
+			continue
+		}
+		layer, err := e.Prof.EncodeLayer(tokens, meanSeq, st.TP, linkClass(st))
+		if err != nil {
+			return nil, err
+		}
+		send, err := e.Prof.PPSend(tokens, e.ppClass(st))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, float64(st.EncLayers)*layer+send)
+	}
+	return out, nil
+}
+
+// decStageTimes returns per-stage decode-iteration times.
+func (e *Engine) decStageTimes(stages []sched.Stage, batch int, ctx float64) ([]float64, error) {
+	out := make([]float64, 0, len(stages))
+	for _, st := range stages {
+		if st.DecLayers == 0 {
+			continue
+		}
+		layer, err := e.Prof.DecodeLayer(batch, ctx, st.TP, linkClass(st))
+		if err != nil {
+			return nil, err
+		}
+		send, err := e.Prof.PPSend(batch, e.ppClass(st))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, float64(st.DecLayers)*layer+send)
+	}
+	return out, nil
+}
+
+// pipelinePeriod mirrors core's steady-state iteration period.
+func pipelinePeriod(stageTimes []float64, m int) float64 {
+	if m < 1 {
+		m = 1
+	}
+	var sum, max float64
+	for _, t := range stageTimes {
+		sum += t
+		if t > max {
+			max = t
+		}
+	}
+	if p := float64(m) * max; p > sum {
+		return p
+	}
+	return sum
+}
+
+func meanCtxOf(m model.Model, active []*query) float64 {
+	if len(active) == 0 {
+		return 1
+	}
+	total := 0
+	for _, q := range active {
+		total += q.ctxLen(m)
+	}
+	return float64(total) / float64(len(active))
+}
+
+// Run dispatches on the schedule's policy.
+func (e *Engine) Run(cfg sched.Config, alloc sched.Allocation, reqs []workload.Request) (Result, error) {
+	if err := cfg.Validate(e.Cluster.TotalGPUs()); err != nil {
+		return Result{}, err
+	}
+	if len(reqs) == 0 {
+		return Result{}, fmt.Errorf("runner: no requests")
+	}
+	if cfg.Policy == sched.RRA {
+		return e.runRRA(cfg, alloc, reqs)
+	}
+	return e.runWAA(cfg, alloc, reqs)
+}
+
+// rraMicroBatches matches Figure 4(a)'s two interleaved mini-batches.
+const rraMicroBatches = 2
+
+// takeEncodeBatch pops the next encode batch under dynamic workload
+// adjustment (§5.2): the number taken starts from want and is adjusted
+// so that (a) the summed input length stays within Theta of the average
+// workload and (b) the decoder batch is pulled back toward targetBD.
+func (e *Engine) takeEncodeBatch(pending *[]workload.Request, want int, meanIn float64, activeNow, targetBD int) []workload.Request {
+	if want < 1 {
+		want = 1
+	}
+	take := want
+	if e.DynamicAdjust {
+		// Decoder under/over target: top up or back off (§5.2).
+		deficit := targetBD - activeNow
+		if deficit > 0 {
+			take = maxInt(take, minInt(deficit, take*2))
+		} else if float64(activeNow) > float64(targetBD)*(1+e.Theta) {
+			take = maxInt(1, take/2)
+		}
+	}
+	if take > len(*pending) {
+		take = len(*pending)
+	}
+	batch := (*pending)[:take]
+	if e.DynamicAdjust && take > 1 {
+		// Trim so the encoder token workload stays within the threshold.
+		budget := float64(want) * meanIn * (1 + e.Theta)
+		tokens := 0
+		cut := take
+		for i, r := range batch {
+			if float64(tokens+r.InLen) > budget && i > 0 {
+				cut = i
+				break
+			}
+			tokens += r.InLen
+		}
+		batch = batch[:cut]
+	}
+	*pending = (*pending)[len(batch):]
+	return batch
+}
+
+// runRRA executes the synchronized encode/decode phase loop.
+func (e *Engine) runRRA(cfg sched.Config, alloc sched.Allocation, reqs []workload.Request) (Result, error) {
+	states, err := e.newStageStates(alloc)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{EncStage: metrics.NewRecorder(), DecStage: metrics.NewRecorder()}
+	rec := metrics.NewRecorder()
+
+	pending := append([]workload.Request(nil), reqs...)
+	var active []*query
+	meanIn := meanInLen(reqs)
+	now := 0.0
+
+	for len(pending) > 0 || len(active) > 0 {
+		// Encoding phase (skipped while draining).
+		if len(pending) > 0 {
+			batch := e.takeEncodeBatch(&pending, cfg.BE, meanIn, len(active), cfg.BD)
+			var admitted []workload.Request
+			tokens := 0
+			for i, r := range batch {
+				if err := admit(states, r.ID, e.promptTokens(r)); err != nil {
+					// Out of memory: return the whole unadmitted remainder
+					// to the queue and proceed with what fits.
+					rest := append([]workload.Request(nil), batch[i:]...)
+					pending = append(rest, pending...)
+					break
+				}
+				admitted = append(admitted, r)
+				tokens += r.InLen
+			}
+			if len(admitted) == 0 && len(active) == 0 {
+				return Result{}, fmt.Errorf("runner: query %d does not fit in KV memory even on an idle system", batch[0].ID)
+			}
+			if len(admitted) > 0 {
+				// The phase runs as rraMicroBatches interleaved
+				// mini-batches (Figure 4(a)); stage times are per micro.
+				microTokens := tokens / rraMicroBatches
+				if microTokens < 1 {
+					microTokens = 1
+				}
+				times, err := e.encStageTimes(alloc.Stages, microTokens, meanIn)
+				if err != nil {
+					return Result{}, err
+				}
+				// Stage-time variance (Table 7) is a steady-state
+				// property: skip the drain tail where batches shrink.
+				if len(pending) > 0 {
+					for _, t := range times {
+						res.EncStage.Add(t)
+					}
+				}
+				now += pipelinePeriod(times, rraMicroBatches)
+				for _, r := range admitted {
+					active = append(active, &query{req: r, start: now})
+				}
+			}
+		}
+
+		// ND decoding iterations.
+		for u := 0; u < cfg.ND && len(active) > 0; u++ {
+			ctx := meanCtxOf(e.Model, active)
+			micro := len(active) / rraMicroBatches
+			if micro < 1 {
+				micro = 1
+			}
+			times, err := e.decStageTimes(alloc.Stages, micro, ctx)
+			if err != nil {
+				return Result{}, err
+			}
+			if len(pending) > 0 {
+				for _, t := range times {
+					res.DecStage.Add(t)
+				}
+			}
+			now += pipelinePeriod(times, rraMicroBatches)
+			res.Iterations++
+
+			survivors := active[:0]
+			for _, q := range active {
+				q.pos++
+				if q.pos >= q.req.OutLen {
+					release(states, q.req.ID)
+					rec.Add(now - q.start)
+					res.Records = append(res.Records, QueryRecord{
+						ID: q.req.ID, Start: q.start, End: now,
+						InLen: q.req.InLen, OutLen: q.req.OutLen,
+					})
+				} else {
+					if err := appendToken(states, q.req.ID); err != nil {
+						return Result{}, fmt.Errorf("runner: decode OOM: %w", err)
+					}
+					survivors = append(survivors, q)
+				}
+			}
+			active = survivors
+			if cost, ran := e.maybeCompact(states); ran {
+				now += cost
+				res.Compactions++
+				res.CompactionSeconds += cost
+			}
+		}
+	}
+	res.Stats = metrics.Summarize(rec, now)
+	res.Stats.SteadyTput = metrics.SteadyThroughput(completionTimes(res.Records))
+	res.PeakDecMemPerGPU = peakMem(states)
+	return res, nil
+}
+
+// completionTimes extracts the End timestamps of the records.
+func completionTimes(records []QueryRecord) []float64 {
+	ends := make([]float64, len(records))
+	for i, r := range records {
+		ends[i] = r.End
+	}
+	return ends
+}
+
+// runWAA executes the asynchronous encoder/decoder pipelines on the
+// discrete-event simulator.
+func (e *Engine) runWAA(cfg sched.Config, alloc sched.Allocation, reqs []workload.Request) (Result, error) {
+	states, err := e.newStageStates(alloc)
+	if err != nil {
+		return Result{}, err
+	}
+	encStages := alloc.EncStages()
+	decStages := alloc.DecStages()
+	if len(encStages) == 0 || len(decStages) == 0 {
+		return Result{}, fmt.Errorf("runner: WAA needs dedicated encode and decode stages")
+	}
+	bm := cfg.Bm
+	if bm > len(decStages) {
+		bm = len(decStages)
+	}
+
+	res := Result{EncStage: metrics.NewRecorder(), DecStage: metrics.NewRecorder()}
+	rec := metrics.NewRecorder()
+	sim := eventsim.New()
+	sim.MaxSteps = 50_000_000
+
+	pending := append([]workload.Request(nil), reqs...)
+	meanIn := meanInLen(reqs)
+	var active []*query
+	type arrival struct {
+		batch []workload.Request
+		start float64
+	}
+	var inbox []arrival
+	inflight := 0         // encoder batches not yet merged by the decoder
+	// The encoder pipeline naturally holds one batch per stage, and the
+	// KV handover keeps more in flight; bound the buffer so the encoder
+	// is never throttled below its steady issue rate but cannot run
+	// unboundedly ahead of the decoder.
+	maxInflight := len(encStages) + 3
+	encDone := false
+	var runErr error
+
+	var startEncode func()
+	var iterate func()
+	decoding := false
+
+	startEncode = func() {
+		if runErr != nil {
+			return
+		}
+		if len(pending) == 0 {
+			encDone = true
+			if !decoding {
+				iterate()
+			}
+			return
+		}
+		if inflight >= maxInflight {
+			// Encoder stalls until the decoder drains the buffer; the
+			// decoder restarts it.
+			return
+		}
+		batch := e.takeEncodeBatch(&pending, cfg.BE, meanIn, len(active), cfg.BD)
+		tokens := 0
+		for _, r := range batch {
+			tokens += r.InLen
+		}
+		times, terr := e.encStageTimes(encStages, tokens, meanIn)
+		if terr != nil {
+			runErr = terr
+			return
+		}
+		for _, t := range times {
+			res.EncStage.Add(t)
+		}
+		period := 0.0
+		var trav float64
+		for _, t := range times {
+			trav += t
+			if t > period {
+				period = t
+			}
+		}
+		handover := trav + e.Prof.KVTransfer(tokens)
+		start := sim.Now()
+		inflight++
+		sim.After(handover, func() {
+			inbox = append(inbox, arrival{batch: batch, start: start})
+			if !decoding {
+				iterate()
+			}
+		})
+		// Pipelined issue: the next batch enters the first stage after
+		// one stage period.
+		sim.After(period, startEncode)
+	}
+
+	iterate = func() {
+		if runErr != nil {
+			return
+		}
+		// Merge arrivals (§4.1: encoded batches merge with previously
+		// decoded data). Arrivals that do not fit yet wait for capacity
+		// freed by completing queries.
+		var waiting []arrival
+		merged := false
+		for _, a := range inbox {
+			i := 0
+			for ; i < len(a.batch); i++ {
+				r := a.batch[i]
+				if err := admit(states, r.ID, e.promptTokens(r)); err != nil {
+					break
+				}
+				active = append(active, &query{req: r, start: a.start})
+				merged = true
+			}
+			if i < len(a.batch) {
+				if len(active) == 0 {
+					runErr = fmt.Errorf("runner: WAA query %d does not fit in KV memory even on an idle decoder", a.batch[i].ID)
+					return
+				}
+				waiting = append(waiting, arrival{batch: a.batch[i:], start: a.start})
+			} else {
+				inflight--
+			}
+		}
+		restartEnc := merged
+		inbox = waiting
+		if restartEnc && !encDone {
+			startEncode()
+		}
+		if len(active) == 0 {
+			decoding = false
+			if encDone && inflight == 0 {
+				return // finished
+			}
+			return // wait for arrivals
+		}
+		decoding = true
+
+		micro := len(active) / bm
+		if micro < 1 {
+			micro = 1
+		}
+		ctx := meanCtxOf(e.Model, active)
+		times, terr := e.decStageTimes(decStages, micro, ctx)
+		if terr != nil {
+			runErr = terr
+			return
+		}
+		if !encDone {
+			for _, t := range times {
+				res.DecStage.Add(t)
+			}
+		}
+		dur := pipelinePeriod(times, bm)
+		if cost, ran := e.maybeCompact(states); ran {
+			dur += cost
+			res.Compactions++
+			res.CompactionSeconds += cost
+		}
+		sim.After(dur, func() {
+			res.Iterations++
+			survivors := active[:0]
+			for _, q := range active {
+				q.pos++
+				if q.pos >= q.req.OutLen {
+					release(states, q.req.ID)
+					rec.Add(sim.Now() - q.start)
+					res.Records = append(res.Records, QueryRecord{
+						ID: q.req.ID, Start: q.start, End: sim.Now(),
+						InLen: q.req.InLen, OutLen: q.req.OutLen,
+					})
+				} else {
+					if err := appendToken(states, q.req.ID); err != nil {
+						runErr = fmt.Errorf("runner: WAA decode OOM: %w", err)
+						return
+					}
+					survivors = append(survivors, q)
+				}
+			}
+			active = survivors
+			iterate()
+		})
+	}
+
+	startEncode()
+	end := sim.Run()
+	if runErr != nil {
+		return Result{}, runErr
+	}
+	res.Stats = metrics.Summarize(rec, end)
+	res.Stats.SteadyTput = metrics.SteadyThroughput(completionTimes(res.Records))
+	res.PeakDecMemPerGPU = peakMem(states)
+	if res.Stats.Completed != len(reqs) {
+		return Result{}, fmt.Errorf("runner: WAA completed %d of %d requests (stall)", res.Stats.Completed, len(reqs))
+	}
+	return res, nil
+}
+
+func meanInLen(reqs []workload.Request) float64 {
+	if len(reqs) == 0 {
+		return 1
+	}
+	t := 0
+	for _, r := range reqs {
+		t += r.InLen
+	}
+	return float64(t) / float64(len(reqs))
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

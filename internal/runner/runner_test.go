@@ -1,0 +1,319 @@
+package runner
+
+import (
+	"math"
+	"testing"
+
+	"exegpt/internal/hw"
+	"exegpt/internal/model"
+	"exegpt/internal/profile"
+	"exegpt/internal/sched"
+	"exegpt/internal/workload"
+)
+
+func engine(t testing.TB, m model.Model, gpus int, cluster hw.Cluster) *Engine {
+	t.Helper()
+	sub, err := cluster.Sub(gpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := profile.New(m, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(m, sub, p.Run())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func requests(t testing.TB, task workload.Task, n int, seed int64) []workload.Request {
+	t.Helper()
+	g, err := workload.NewGenerator(task, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Batch(n)
+}
+
+func rraConfig(bd, nd int) sched.Config {
+	return sched.Config{Policy: sched.RRA, BE: 1, BD: bd, ND: nd, TP: sched.TPSpec{Degree: 1}}
+}
+
+func rraAlloc(t testing.TB, e *Engine, tp sched.TPSpec) sched.Allocation {
+	t.Helper()
+	a, err := sched.AllocateRRA(e.Model, e.Cluster, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func waaAlloc(t testing.TB, e *Engine, enc, dec int, tp sched.TPSpec) sched.Allocation {
+	t.Helper()
+	a, err := sched.AllocateWAA(e.Model, e.Cluster, sched.WAAM, enc, dec, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewValidates(t *testing.T) {
+	sub, _ := hw.A40Cluster.Sub(4)
+	if _, err := New(model.Model{}, sub, &profile.Table{}); err == nil {
+		t.Fatal("bad model should fail")
+	}
+	if _, err := New(model.OPT13B, hw.Cluster{}, &profile.Table{}); err == nil {
+		t.Fatal("bad cluster should fail")
+	}
+	if _, err := New(model.OPT13B, sub, nil); err == nil {
+		t.Fatal("nil profile should fail")
+	}
+}
+
+func TestRunValidatesInputs(t *testing.T) {
+	e := engine(t, model.OPT13B, 4, hw.A40Cluster)
+	alloc := rraAlloc(t, e, sched.TPSpec{Degree: 1})
+	if _, err := e.Run(sched.Config{}, alloc, requests(t, workload.Summarization, 4, 1)); err == nil {
+		t.Fatal("invalid config should fail")
+	}
+	if _, err := e.Run(rraConfig(8, 4), alloc, nil); err == nil {
+		t.Fatal("no requests should fail")
+	}
+}
+
+func TestRRACompletesAllRequests(t *testing.T) {
+	e := engine(t, model.OPT13B, 4, hw.A40Cluster)
+	reqs := requests(t, workload.Summarization, 300, 7)
+	res, err := e.Run(rraConfig(64, 8), rraAlloc(t, e, sched.TPSpec{Degree: 1}), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Completed != len(reqs) {
+		t.Fatalf("completed %d of %d", res.Stats.Completed, len(reqs))
+	}
+	if res.Stats.Throughput <= 0 || res.Stats.Elapsed <= 0 {
+		t.Fatalf("stats: %+v", res.Stats)
+	}
+	if len(res.Records) != len(reqs) {
+		t.Fatalf("records %d", len(res.Records))
+	}
+	for _, r := range res.Records {
+		if r.End <= r.Start {
+			t.Fatalf("record %d has nonpositive latency", r.ID)
+		}
+	}
+	if res.Iterations == 0 || res.EncStage.Count() == 0 || res.DecStage.Count() == 0 {
+		t.Fatal("missing stage samples")
+	}
+}
+
+func TestRRADeterministic(t *testing.T) {
+	e := engine(t, model.OPT13B, 4, hw.A40Cluster)
+	reqs := requests(t, workload.Translation, 150, 3)
+	alloc := rraAlloc(t, e, sched.TPSpec{Degree: 1})
+	r1, err := e.Run(rraConfig(32, 8), alloc, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Run(rraConfig(32, 8), alloc, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.Elapsed != r2.Stats.Elapsed || r1.Stats.P99Lat != r2.Stats.P99Lat {
+		t.Fatalf("nondeterministic: %+v vs %+v", r1.Stats, r2.Stats)
+	}
+}
+
+func TestWAACompletesAllRequests(t *testing.T) {
+	e := engine(t, model.OPT13B, 4, hw.A40Cluster)
+	reqs := requests(t, workload.Summarization, 300, 9)
+	cfg := sched.Config{Policy: sched.WAAM, BE: 4, BD: 128, Bm: 2, TP: sched.TPSpec{Degree: 1}}
+	res, err := e.Run(cfg, waaAlloc(t, e, 1, 3, sched.TPSpec{Degree: 1}), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Completed != len(reqs) {
+		t.Fatalf("completed %d of %d", res.Stats.Completed, len(reqs))
+	}
+	if res.EncStage.Count() == 0 || res.DecStage.Count() == 0 {
+		t.Fatal("missing stage samples")
+	}
+}
+
+func TestWAADeterministic(t *testing.T) {
+	e := engine(t, model.OPT13B, 4, hw.A40Cluster)
+	reqs := requests(t, workload.Summarization, 120, 11)
+	cfg := sched.Config{Policy: sched.WAAM, BE: 4, BD: 128, Bm: 2, TP: sched.TPSpec{Degree: 1}}
+	alloc := waaAlloc(t, e, 1, 3, sched.TPSpec{Degree: 1})
+	r1, err := e.Run(cfg, alloc, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Run(cfg, alloc, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.Elapsed != r2.Stats.Elapsed {
+		t.Fatalf("nondeterministic: %v vs %v", r1.Stats.Elapsed, r2.Stats.Elapsed)
+	}
+}
+
+// Early termination + refill keeps RRA's decode batches near BD; the
+// same workload under a "no refill" discipline (huge ND) sees decaying
+// batches and worse throughput.
+func TestRefillBeatsDecayingBatches(t *testing.T) {
+	e := engine(t, model.OPT13B, 4, hw.A40Cluster)
+	reqs := requests(t, workload.Translation, 400, 13)
+	alloc := rraAlloc(t, e, sched.TPSpec{Degree: 1})
+	refill, err := e.Run(rraConfig(96, 8), alloc, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decay, err := e.Run(rraConfig(96, 400), alloc, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refill.Stats.Throughput <= decay.Stats.Throughput {
+		t.Fatalf("refill %.2f should beat decaying batches %.2f",
+			refill.Stats.Throughput, decay.Stats.Throughput)
+	}
+}
+
+// Compaction actually runs under early termination.
+func TestCompactionHappens(t *testing.T) {
+	e := engine(t, model.OPT13B, 4, hw.A40Cluster)
+	reqs := requests(t, workload.Translation, 200, 17)
+	res, err := e.Run(rraConfig(64, 8), rraAlloc(t, e, sched.TPSpec{Degree: 1}), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compactions == 0 || res.CompactionSeconds <= 0 {
+		t.Fatalf("expected compactions, got %d (%.4fs)", res.Compactions, res.CompactionSeconds)
+	}
+}
+
+// Dynamic adjustment (§5.2) reduces decoder-workload variance.
+func TestDynamicAdjustmentReducesVariance(t *testing.T) {
+	reqs := requests(t, workload.Translation, 500, 19)
+	cfg := rraConfig(64, 8)
+
+	run := func(adjust bool) *Result {
+		e := engine(t, model.OPT13B, 4, hw.A40Cluster)
+		e.DynamicAdjust = adjust
+		res, err := e.Run(cfg, rraAlloc(t, e, sched.TPSpec{Degree: 1}), reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &res
+	}
+	with := run(true)
+	without := run(false)
+	// Relative decoder stage-time spread should not get worse with
+	// adjustment enabled.
+	relWith := with.DecStage.Std() / with.DecStage.Mean()
+	relWithout := without.DecStage.Std() / without.DecStage.Mean()
+	if relWith > relWithout*1.1 {
+		t.Fatalf("adjustment increased variance: %.4f vs %.4f", relWith, relWithout)
+	}
+}
+
+// Decoder stage-time variance is small (Table 7: < ~6%).
+func TestDecoderVarianceSmall(t *testing.T) {
+	e := engine(t, model.OPT13B, 4, hw.A40Cluster)
+	reqs := requests(t, workload.Summarization, 600, 23)
+	res, err := e.Run(rraConfig(96, 8), rraAlloc(t, e, sched.TPSpec{Degree: 1}), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := res.DecStage.PctlRange(0.99) / res.DecStage.Mean()
+	if rel > 0.25 {
+		t.Fatalf("decoder 99th pctl range %.1f%% of mean, want small", rel*100)
+	}
+}
+
+// A schedule whose KV cannot fit even one query fails loudly.
+func TestOOMFailsLoudly(t *testing.T) {
+	e := engine(t, model.GPT3175B, 16, hw.A100Cluster)
+	// Single-GPU stage must hold 96/16 layers of a 175B model: weights
+	// fit, but a WAA allocation with 15 encode / 1 decode GPU cannot
+	// hold the decode-side copy.
+	if _, err := sched.AllocateWAA(e.Model, e.Cluster, sched.WAAM, 15, 1, sched.TPSpec{Degree: 1}); err != nil {
+		t.Skip("allocation rejected earlier")
+	}
+	alloc, _ := sched.AllocateWAA(e.Model, e.Cluster, sched.WAAM, 15, 1, sched.TPSpec{Degree: 1})
+	cfg := sched.Config{Policy: sched.WAAM, BE: 4, BD: 64, Bm: 1, TP: sched.TPSpec{Degree: 1}}
+	_, err := e.Run(cfg, alloc, requests(t, workload.ConvQA2, 50, 29))
+	if err == nil {
+		t.Fatal("expected an OOM error")
+	}
+}
+
+// WAA throughput benefits from decoupled pipelines versus serializing
+// encode and decode on the same GPUs with tiny ND.
+func TestWAAOverlapsEncodeDecode(t *testing.T) {
+	e := engine(t, model.OPT13B, 4, hw.A40Cluster)
+	reqs := requests(t, workload.Summarization, 300, 31)
+	waaRes, err := e.Run(
+		sched.Config{Policy: sched.WAAM, BE: 6, BD: 190, Bm: 2, TP: sched.TPSpec{Degree: 1}},
+		waaAlloc(t, e, 1, 3, sched.TPSpec{Degree: 1}), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waaRes.Stats.Throughput <= 0 {
+		t.Fatal("WAA made no progress")
+	}
+	// Sanity: mean latency below the full-run elapsed time.
+	if waaRes.Stats.MeanLat >= waaRes.Stats.Elapsed {
+		t.Fatal("latency accounting broken")
+	}
+}
+
+// Partial TP at runtime reduces p99 latency on large models.
+func TestRunnerTPLatency(t *testing.T) {
+	e := engine(t, model.GPT339B, 16, hw.A40Cluster)
+	reqs := requests(t, workload.Summarization, 150, 37)
+	noTP, err := e.Run(rraConfig(32, 8), rraAlloc(t, e, sched.TPSpec{Degree: 1}), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgTP := sched.Config{Policy: sched.RRA, BE: 1, BD: 32, ND: 8, TP: sched.TPSpec{Degree: 8, GPUs: 16}}
+	withTP, err := e.Run(cfgTP, rraAlloc(t, e, sched.TPSpec{Degree: 8, GPUs: 16}), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withTP.Stats.P99Lat >= noTP.Stats.P99Lat {
+		t.Fatalf("TP should cut p99 latency: %.2f vs %.2f", withTP.Stats.P99Lat, noTP.Stats.P99Lat)
+	}
+}
+
+// The runner's measured throughput should land in the ballpark of the
+// XSimulator estimate (they share the cost substrate); we allow a wide
+// band since the runner sees sampled (not expected) workloads.
+func TestRunnerMatchesSimulatorShape(t *testing.T) {
+	e := engine(t, model.OPT13B, 4, hw.A40Cluster)
+	reqs := requests(t, workload.Summarization, 500, 41)
+	res, err := e.Run(rraConfig(64, 8), rraAlloc(t, e, sched.TPSpec{Degree: 1}), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Throughput < 1 || res.Stats.Throughput > 1000 {
+		t.Fatalf("throughput %v implausible", res.Stats.Throughput)
+	}
+	if math.IsNaN(res.Stats.P99Lat) || res.Stats.P99Lat <= 0 {
+		t.Fatalf("p99 %v", res.Stats.P99Lat)
+	}
+}
+
+func BenchmarkRunRRA(b *testing.B) {
+	e := engine(b, model.OPT13B, 4, hw.A40Cluster)
+	reqs := requests(b, workload.Summarization, 200, 43)
+	alloc := rraAlloc(b, e, sched.TPSpec{Degree: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(rraConfig(64, 8), alloc, reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

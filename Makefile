@@ -1,0 +1,33 @@
+# Mirrors the CI jobs in .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: all build test race lint bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+	$(GO) build -o exegpt ./cmd/exegpt
+
+test:
+	$(GO) test ./...
+
+# Race-detect the concurrency-critical packages: the parallel scheduler
+# search, the runner engines, and the parallel experiment sweep.
+race:
+	$(GO) test -race ./internal/core/... ./internal/runner/... ./internal/experiments/... ./internal/par/...
+
+lint:
+	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+
+# Compare the sequential and parallel schedule search.
+bench:
+	$(GO) test -bench 'FindBest' -run '^$$' -benchmem ./internal/core/
+
+clean:
+	rm -f exegpt

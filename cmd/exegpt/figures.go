@@ -1,0 +1,92 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"exegpt/internal/experiments"
+)
+
+// cmdFigures regenerates the paper's evaluation figures (§7.2-§7.6).
+func cmdFigures(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ExitOnError)
+	newCtx := commonFlags(fs)
+	which := fs.String("which", "all", "comma-separated figure numbers (6,7,8,9,10,11) or all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx := newCtx()
+
+	type figure struct {
+		name string
+		run  func() (string, error)
+	}
+	figures := []figure{
+		{"6", func() (string, error) {
+			cells, err := ctx.Figure6()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatThroughput("Figure 6: ExeGPT vs FT (small/mid models)", cells), nil
+		}},
+		{"7", func() (string, error) {
+			cells, err := ctx.Figure7()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatThroughput("Figure 7: existing systems (OPT-13B, 4x A40)", cells), nil
+		}},
+		{"8", func() (string, error) {
+			cells, err := ctx.Figure8()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatThroughput("Figure 8: ExeGPT-RRA vs FT (large models)", cells), nil
+		}},
+		{"9", func() (string, error) {
+			cells, err := ctx.Figure9()
+			if err != nil {
+				return "", err
+			}
+			return "Figure 9: per-GPU memory, FT vs WAA\n" + experiments.FormatMemory(cells), nil
+		}},
+		{"10", func() (string, error) {
+			cells, err := ctx.Figure10()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatThroughput("Figure 10: real-dataset emulations", cells), nil
+		}},
+		{"11", func() (string, error) {
+			cells, err := ctx.Figure11()
+			if err != nil {
+				return "", err
+			}
+			return "Figure 11: distribution shift (WAA, OPT-13B)\n" + experiments.FormatShift(cells), nil
+		}},
+	}
+
+	want := map[string]bool{}
+	if *which != "all" {
+		for _, w := range strings.Split(*which, ",") {
+			want[strings.TrimSpace(w)] = true
+		}
+	}
+	ran := 0
+	for _, f := range figures {
+		if len(want) > 0 && !want[f.name] {
+			continue
+		}
+		out, err := f.run()
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", f.name, err)
+		}
+		fmt.Println(out)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no figures matched -which=%s", *which)
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"testing"
+
+	"exegpt/internal/sched"
+)
+
+func TestParsePolicies(t *testing.T) {
+	rra, err := parsePolicies("rra")
+	if err != nil || len(rra) != 1 || len(rra[0]) != 1 || rra[0][0] != sched.RRA {
+		t.Fatalf("rra: %v %v", rra, err)
+	}
+	waa, err := parsePolicies("WAA")
+	if err != nil || len(waa) != 1 || len(waa[0]) != 2 {
+		t.Fatalf("waa: %v %v", waa, err)
+	}
+	all, err := parsePolicies("all")
+	if err != nil || len(all) != 2 {
+		t.Fatalf("all: %v %v", all, err)
+	}
+	if got := flattenPolicies(all); len(got) != 3 {
+		t.Fatalf("flatten: %v", got)
+	}
+	if _, err := parsePolicies("bogus"); err == nil {
+		t.Fatal("bogus policy set should error")
+	}
+}
+
+func TestClusterByName(t *testing.T) {
+	for _, name := range []string{"A40", "a100"} {
+		c, err := clusterByName(name)
+		if err != nil || c.TotalGPUs() == 0 {
+			t.Fatalf("%s: %v %v", name, c, err)
+		}
+	}
+	if _, err := clusterByName("H100"); err == nil {
+		t.Fatal("unknown cluster should error")
+	}
+}
+
+func TestTasksByIDs(t *testing.T) {
+	tasks, err := tasksByIDs("")
+	if err != nil || len(tasks) != 5 {
+		t.Fatalf("default tasks: %d %v", len(tasks), err)
+	}
+	tasks, err = tasksByIDs("S, T")
+	if err != nil || len(tasks) != 2 || tasks[0].ID != "S" || tasks[1].ID != "T" {
+		t.Fatalf("S,T: %v %v", tasks, err)
+	}
+	if _, err := tasksByIDs("nope"); err == nil {
+		t.Fatal("unknown task should error")
+	}
+}
+
+func TestModelsByNames(t *testing.T) {
+	all, err := modelsByNames("")
+	if err != nil || len(all) == 0 {
+		t.Fatalf("default models: %v %v", all, err)
+	}
+	seen := map[string]bool{}
+	for _, m := range all {
+		if seen[m.Name] {
+			t.Fatalf("duplicate default model %s", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	one, err := modelsByNames("OPT-13B")
+	if err != nil || len(one) != 1 || one[0].Name != "OPT-13B" {
+		t.Fatalf("OPT-13B: %v %v", one, err)
+	}
+	if _, err := modelsByNames("GPT-9000"); err == nil {
+		t.Fatal("unknown model should error")
+	}
+}

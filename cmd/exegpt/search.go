@@ -1,0 +1,133 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"runtime"
+
+	"exegpt/internal/model"
+	"exegpt/internal/sched"
+	"exegpt/internal/workload"
+)
+
+// cmdSearch finds the best schedule for one deployment and optionally
+// executes it on XRunner.
+func cmdSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	newCtx := commonFlags(fs)
+	modelName := fs.String("model", "OPT-13B", "model name (Table 1)")
+	clusterName := fs.String("cluster", "", "cluster (A40 or A100; default: the model's Table 2 cluster)")
+	gpus := fs.Int("gpus", 0, "GPUs to deploy on (default: the model's Table 2 count)")
+	taskID := fs.String("task", "S", "task ID (S, T, G, C1, C2, wmt, alpaca, cnn)")
+	policySet := fs.String("policies", "all", "policy set: rra, waa or all")
+	lbound := fs.Float64("lbound", 0, "latency bound in seconds (0 = unconstrained)")
+	maxBatch := fs.Int("maxbatch", 0, "cap the decoder-batch search axis (0 = scheduler default)")
+	maxND := fs.Int("maxnd", 0, "cap the encoding-interval search axis (0 = scheduler default)")
+	minLat := fs.Bool("minlat", false, "also report the lowest achievable latency (full grid scan)")
+	execute := fs.Bool("run", false, "execute the selected schedule on XRunner and report measured stats")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m, err := model.ByName(*modelName)
+	if err != nil {
+		return err
+	}
+	dep, err := sched.DeploymentFor(m.Name)
+	if err != nil {
+		// No Table 2 entry: cluster and gpus must be given explicitly.
+		if *clusterName == "" || *gpus == 0 {
+			return err
+		}
+	}
+	cluster := dep.Cluster
+	if *clusterName != "" {
+		if cluster, err = clusterByName(*clusterName); err != nil {
+			return err
+		}
+	}
+	nGPUs := dep.GPUs
+	if *gpus > 0 {
+		nGPUs = *gpus
+	}
+	task, err := workload.ByID(*taskID)
+	if err != nil {
+		return err
+	}
+	groups, err := parsePolicies(*policySet)
+	if err != nil {
+		return err
+	}
+	policies := flattenPolicies(groups)
+
+	ctx := newCtx()
+	d, err := ctx.Deploy(m, cluster, nGPUs, task)
+	if err != nil {
+		return err
+	}
+	if *maxBatch > 0 {
+		d.Sch.MaxBatch = *maxBatch
+	}
+	if *maxND > 0 {
+		d.Sch.MaxND = *maxND
+	}
+
+	bound := *lbound
+	if bound <= 0 {
+		bound = math.Inf(1)
+	}
+	workers := d.Sch.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("search: %s on %dx %s, task %s, bound %s, %d workers\n",
+		m.Name, nGPUs, cluster.Name, task.ID, fmtSeconds(bound), workers)
+
+	if *minLat {
+		min, err := d.Sch.MinLatency(policies)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("lowest achievable latency: %.3f s\n", min)
+	}
+
+	res, err := d.Sch.FindBest(policies, bound)
+	if err != nil {
+		return err
+	}
+	if !res.Found {
+		fmt.Printf("no feasible schedule (NS) under bound %s after %d evaluations\n",
+			fmtSeconds(bound), res.Evals)
+		return nil
+	}
+	best := res.Best
+	fmt.Printf("selected: %s %s\n", best.Config.Policy, best.Config)
+	fmt.Printf("estimate: %.2f seq/s at %.3f s latency (%d evaluations)\n",
+		best.Throughput, best.Latency, res.Evals)
+	if best.Alloc.EncGPUs > 0 || best.Alloc.DecGPUs > 0 {
+		fmt.Printf("allocation: %d encode / %d decode GPUs\n",
+			best.Alloc.EncGPUs, best.Alloc.DecGPUs)
+	}
+
+	if *execute {
+		reqs, err := ctx.RequestStream(task, 0)
+		if err != nil {
+			return err
+		}
+		out, err := d.Run.Run(best.Config, best.Alloc, reqs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("measured: %.2f seq/s total, %.2f seq/s steady, p99 latency %.3f s (%d requests)\n",
+			out.Stats.Throughput, out.Stats.SteadyTput, out.Stats.P99Lat, len(reqs))
+	}
+	return nil
+}
+
+func fmtSeconds(s float64) string {
+	if math.IsInf(s, 1) {
+		return "Inf"
+	}
+	return fmt.Sprintf("%.3fs", s)
+}

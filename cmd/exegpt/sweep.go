@@ -1,0 +1,88 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"exegpt/internal/experiments"
+	"exegpt/internal/sched"
+)
+
+// cmdSweep grid-evaluates deployments x tasks, parallel across
+// deployments.
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	newCtx := commonFlags(fs)
+	modelList := fs.String("models", "", "comma-separated model names (default: every Table 2 model)")
+	gpuList := fs.String("gpus", "", "comma-separated cluster sizes overriding Table 2 (e.g. 4,8,16)")
+	taskList := fs.String("tasks", "", "comma-separated task IDs (default: S,T,G,C1,C2)")
+	policySet := fs.String("policies", "all", "policy set: rra, waa or all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	models, err := modelsByNames(*modelList)
+	if err != nil {
+		return err
+	}
+	tasks, err := tasksByIDs(*taskList)
+	if err != nil {
+		return err
+	}
+	groups, err := parsePolicies(*policySet)
+	if err != nil {
+		return err
+	}
+
+	// Build the deployment grid: each model on its Table 2 cluster, at
+	// its Table 2 GPU count or at every size in -gpus.
+	var sizes []int
+	if *gpuList != "" {
+		for _, s := range strings.Split(*gpuList, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad -gpus entry %q", s)
+			}
+			sizes = append(sizes, n)
+		}
+	}
+	var deps []sched.Deployment
+	for _, m := range models {
+		dep, err := sched.DeploymentFor(m.Name)
+		if err != nil {
+			return err
+		}
+		if len(sizes) == 0 {
+			deps = append(deps, dep)
+			continue
+		}
+		for _, n := range sizes {
+			if n > dep.Cluster.TotalGPUs() {
+				continue // grid point exceeds the cluster; skip, not fail
+			}
+			d := dep
+			d.GPUs = n
+			deps = append(deps, d)
+		}
+	}
+	if len(deps) == 0 {
+		return fmt.Errorf("no deployments selected (every -gpus size exceeds its cluster?)")
+	}
+
+	ctx := newCtx()
+	fmt.Printf("sweep: %d deployments x %d tasks, %d requests/run, seed %d\n",
+		len(deps), len(tasks), ctx.Requests, ctx.Seed)
+	rows, err := ctx.Sweep(experiments.SweepGrid{
+		Deployments: deps,
+		Tasks:       tasks,
+		Policies:    groups,
+		Workers:     ctx.Workers,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatSweep(rows))
+	return nil
+}

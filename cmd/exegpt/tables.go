@@ -1,0 +1,85 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"exegpt/internal/experiments"
+)
+
+// cmdTables regenerates the paper's tables (1-7) and the §7.7
+// scheduling-cost comparison.
+func cmdTables(args []string) error {
+	fs := flag.NewFlagSet("tables", flag.ExitOnError)
+	newCtx := commonFlags(fs)
+	which := fs.String("which", "all", "comma-separated table numbers (1-7, cost) or all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx := newCtx()
+
+	type table struct {
+		name string
+		run  func() (string, error)
+	}
+	tables := []table{
+		{"1", func() (string, error) { return experiments.Table1(), nil }},
+		{"2", func() (string, error) { return experiments.Table2(), nil }},
+		{"3", func() (string, error) { return experiments.Table3(), nil }},
+		{"4", func() (string, error) {
+			return experiments.FormatTable4(experiments.Table4()), nil
+		}},
+		{"5", func() (string, error) {
+			rows, err := ctx.Table5()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatTable5(rows), nil
+		}},
+		{"6", func() (string, error) {
+			rows, err := ctx.Table6()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatTable6(rows), nil
+		}},
+		{"7", func() (string, error) {
+			rows, err := ctx.Table7()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatTable7(rows), nil
+		}},
+		{"cost", func() (string, error) {
+			rows, err := ctx.SchedulingCost()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatSchedulingCost(rows), nil
+		}},
+	}
+
+	want := map[string]bool{}
+	if *which != "all" {
+		for _, w := range strings.Split(*which, ",") {
+			want[strings.TrimSpace(strings.ToLower(w))] = true
+		}
+	}
+	ran := 0
+	for _, t := range tables {
+		if len(want) > 0 && !want[t.name] {
+			continue
+		}
+		out, err := t.run()
+		if err != nil {
+			return fmt.Errorf("table %s: %w", t.name, err)
+		}
+		fmt.Printf("Table %s:\n%s\n", t.name, out)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no tables matched -which=%s", *which)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module exegpt
+
+go 1.22

@@ -62,9 +62,17 @@ func (s System) String() string {
 	return fmt.Sprintf("System(%d)", int(s))
 }
 
-// vllmIterOverhead is the per-iteration executor overhead of vLLM's
-// Python engine that GPU kernels do not mask (§7.2).
+// vllmIterOverhead is the fixed per-iteration executor overhead of
+// vLLM's Python engine that GPU kernels do not mask (§7.2).
 const vllmIterOverhead = 15e-3
+
+// vllmPerSeqOverhead is the per-sequence share of that executor
+// overhead: iteration-level scheduling, sampling and detokenization run
+// on the CPU once per active sequence every iteration, so the unmasked
+// cost grows with the running batch (§7.2: the overhead "degrades its
+// performance" precisely on the large batches where ORCA/vLLM would
+// otherwise amortize their kernels).
+const vllmPerSeqOverhead = 0.3e-3
 
 // dsiSmallBatchBoost is DSI's custom-GeMM speedup on small decode
 // batches.
@@ -211,9 +219,10 @@ func (e *Engine) decIterTime(batch int, ctx float64, microBatches int) (float64,
 	}
 	// ORCA is proprietary; the paper evaluates it through vLLM's
 	// iteration-level scheduling mode (§7.1), so both carry the vLLM
-	// executor overhead.
+	// executor overhead: a fixed engine cost plus a per-sequence cost
+	// over the whole running batch.
 	if e.System == VLLM || e.System == ORCA {
-		period += vllmIterOverhead
+		period += vllmIterOverhead + vllmPerSeqOverhead*float64(batch)
 	}
 	return period, nil
 }

@@ -15,8 +15,11 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync/atomic"
 
+	"exegpt/internal/par"
 	"exegpt/internal/sched"
 )
 
@@ -87,6 +90,12 @@ type perf struct {
 }
 
 // Scheduler is XScheduler.
+//
+// A single search call (FindBest, MinLatency, Exhaustive) fans its
+// (policy, TP) branch-and-bound roots out to a bounded worker pool; the
+// Scheduler itself must not be shared by concurrent search calls, but
+// one search internally uses Workers goroutines, all evaluating against
+// the same (read-only) Simulator.
 type Scheduler struct {
 	Sim *Simulator
 	// TolT and TolL are the throughput/latency tolerances of
@@ -95,7 +104,13 @@ type Scheduler struct {
 	TolT, TolL float64
 	// MaxBatch and MaxND bound the search space.
 	MaxBatch, MaxND, MaxBm int
-	// Evals counts simulator invocations (for the §7.7 cost comparison).
+	// Workers is the number of concurrent branch workers; 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Evals counts simulator invocations of the last search (for the
+	// §7.7 cost comparison). Under parallel FindBest the count depends
+	// on pruning timing and may vary slightly between runs; the selected
+	// schedule does not (see FindBest).
 	Evals int
 }
 
@@ -106,8 +121,17 @@ func NewScheduler(sim *Simulator) *Scheduler {
 		MaxBatch: 4096, MaxND: 64, MaxBm: 8}
 }
 
-// point evaluates one configuration.
-func (s *Scheduler) point(policy sched.Policy, tp sched.TPSpec, axes []Axis, idx []int) (perf, error) {
+// workers resolves the effective worker-pool size.
+func (s *Scheduler) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// point evaluates one configuration, counting the evaluation into the
+// caller's branch-local counter.
+func (s *Scheduler) point(policy sched.Policy, tp sched.TPSpec, axes []Axis, idx []int, evals *int) (perf, error) {
 	cfg := sched.Config{Policy: policy, TP: tp, BE: 1, BD: 1, Bm: 1, ND: 1}
 	for d, a := range axes {
 		v := a.Values[idx[d]]
@@ -124,7 +148,7 @@ func (s *Scheduler) point(policy sched.Policy, tp sched.TPSpec, axes []Axis, idx
 			return perf{}, fmt.Errorf("core: unknown axis %q", a.Name)
 		}
 	}
-	s.Evals++
+	*evals++
 	est, err := s.Sim.Estimate(cfg)
 	if err != nil {
 		return perf{}, err
@@ -178,11 +202,119 @@ func (b block) widestDim() int {
 type Result struct {
 	Best  Estimate
 	Found bool
+	// Evals is the total simulator invocations across all branches.
+	// Under parallel FindBest it can vary between runs (tighter shared
+	// bounds prune more when other branches finish early); Best and
+	// Found are deterministic regardless.
 	Evals int
 }
 
+// tputBound is the throughput lower bound shared across branch workers:
+// the best feasible, bound-satisfying throughput seen anywhere so far.
+// Every worker tightens it as results land, so pruning in one branch
+// benefits from discoveries in all others. Throughputs are nonnegative,
+// so the zero value (0.0) means "no bound yet".
+type tputBound struct {
+	bits atomic.Uint64
+}
+
+func (b *tputBound) Load() float64 {
+	return math.Float64frombits(b.bits.Load())
+}
+
+// Tighten raises the bound to t if t is an improvement.
+func (b *tputBound) Tighten(t float64) {
+	for {
+		old := b.bits.Load()
+		if math.Float64frombits(old) >= t {
+			return
+		}
+		if b.bits.CompareAndSwap(old, math.Float64bits(t)) {
+			return
+		}
+	}
+}
+
+// configLess is a canonical total order on configurations, used to
+// break exact throughput ties deterministically no matter in which
+// order concurrent branches deliver their results.
+func configLess(a, b sched.Config) bool {
+	if a.Policy != b.Policy {
+		return a.Policy < b.Policy
+	}
+	if a.TP.Degree != b.TP.Degree {
+		return a.TP.Degree < b.TP.Degree
+	}
+	if a.TP.GPUs != b.TP.GPUs {
+		return a.TP.GPUs < b.TP.GPUs
+	}
+	if a.BD != b.BD {
+		return a.BD < b.BD
+	}
+	if a.BE != b.BE {
+		return a.BE < b.BE
+	}
+	if a.ND != b.ND {
+		return a.ND < b.ND
+	}
+	return a.Bm < b.Bm
+}
+
+// better reports whether a should replace b as the incumbent: strictly
+// higher throughput, or equal throughput with a canonically smaller
+// configuration. The tie-break makes the selected schedule independent
+// of evaluation order, which parallel search does not control.
+func better(a, b Estimate) bool {
+	if a.Throughput != b.Throughput {
+		return a.Throughput > b.Throughput
+	}
+	return configLess(a.Config, b.Config)
+}
+
+// branch is one (policy, TP) root of Algorithm 1.
+type branch struct {
+	policy sched.Policy
+	tp     sched.TPSpec
+}
+
+// branches enumerates the search roots in canonical order: policies as
+// given, TP choices in tpChoices order. Reduction walks the same order,
+// so results are deterministic regardless of completion order.
+func (s *Scheduler) branches(policies []sched.Policy) []branch {
+	var out []branch
+	for _, policy := range policies {
+		for _, tp := range s.tpChoices() {
+			if policy.IsWAA() && tp.GPUs >= s.Sim.Cluster.TotalGPUs() {
+				continue // decode side cannot take every GPU
+			}
+			out = append(out, branch{policy: policy, tp: tp})
+		}
+	}
+	return out
+}
+
+// forEachBranch runs fn(i) for every branch index on the worker pool.
+// fn must only write to per-index state.
+func (s *Scheduler) forEachBranch(n int, fn func(int)) {
+	par.ForEach(n, s.workers(), fn)
+}
+
+// branchOutcome is the per-branch search result, reduced canonically
+// after all workers finish.
+type branchOutcome struct {
+	est   Estimate
+	found bool
+	evals int
+	err   error
+}
+
 // bbSearch runs Algorithm 1 over the axes for one (policy, TP) choice.
-func (s *Scheduler) bbSearch(policy sched.Policy, tp sched.TPSpec, axes []Axis, lbound float64) (Estimate, bool, error) {
+// shared is the cross-branch throughput lower bound: it only ever
+// tightens pruning, and — under the monotone-corner assumption (see
+// FindBest) — it can never prune a point whose throughput reaches the
+// global optimum, so the reduced result is independent of how far
+// other branches have progressed (only Evals varies).
+func (s *Scheduler) bbSearch(policy sched.Policy, tp sched.TPSpec, axes []Axis, lbound float64, shared *tputBound, evals *int) (Estimate, bool, error) {
 	lo := make([]int, len(axes))
 	hi := make([]int, len(axes))
 	for d, a := range axes {
@@ -195,14 +327,15 @@ func (s *Scheduler) bbSearch(policy sched.Policy, tp sched.TPSpec, axes []Axis, 
 
 	// Line 1-3: initial block; if the top corner satisfies the
 	// constraint it is optimal.
-	top, err := s.point(policy, tp, axes, hi)
+	top, err := s.point(policy, tp, axes, hi, evals)
 	if err != nil {
 		return Estimate{}, false, err
 	}
 	if top.lat < lbound && top.est.Feasible {
+		shared.Tighten(top.tput)
 		return top.est, true, nil
 	}
-	bottom, err := s.point(policy, tp, axes, lo)
+	bottom, err := s.point(policy, tp, axes, lo, evals)
 	if err != nil {
 		return Estimate{}, false, err
 	}
@@ -210,13 +343,25 @@ func (s *Scheduler) bbSearch(policy sched.Policy, tp sched.TPSpec, axes []Axis, 
 	var best Estimate
 	found := false
 	consider := func(p perf) {
-		if p.est.Feasible && p.lat < lbound && (!found || p.tput > best.Throughput) {
-			best = p.est
-			found = true
+		if p.est.Feasible && p.lat < lbound {
+			shared.Tighten(p.tput)
+			if !found || better(p.est, best) {
+				best = p.est
+				found = true
+			}
 		}
 	}
 	consider(bottom)
 	consider(top)
+
+	// canBeat reports whether a block with throughput upper bound upp
+	// could still improve on the shared incumbent T* (within the TolT
+	// tolerance, Line 18). The shared bound includes this branch's own
+	// contributions, so it is always at least as tight as a local best.
+	canBeat := func(upp float64) bool {
+		lb := shared.Load()
+		return lb == 0 || upp+s.TolT*lb >= lb
+	}
 
 	b0 := block{lo: lo, hi: hi, upp: top, lowr: bottom}
 	queue := []block{b0}
@@ -227,7 +372,7 @@ func (s *Scheduler) bbSearch(policy sched.Policy, tp sched.TPSpec, axes []Axis, 
 		b := queue[0]
 		queue = queue[1:]
 		// Line 18 pruning (lazy): drop blocks that cannot beat T*.
-		if found && b.upperTput()+s.TolT*best.Throughput < best.Throughput {
+		if !canBeat(b.upperTput()) {
 			continue
 		}
 		if b.isPoint() {
@@ -242,11 +387,11 @@ func (s *Scheduler) bbSearch(policy sched.Policy, tp sched.TPSpec, axes []Axis, 
 		if d2 := secondWidest(b, dim); d2 >= 0 {
 			tl := cornerSwap(b, dim) // low in dim, high elsewhere
 			br := cornerSwap(b, d2)  // low in d2, high elsewhere
-			ptl, err := s.point(policy, tp, axes, tl)
+			ptl, err := s.point(policy, tp, axes, tl, evals)
 			if err != nil {
 				return Estimate{}, false, err
 			}
-			pbr, err := s.point(policy, tp, axes, br)
+			pbr, err := s.point(policy, tp, axes, br, evals)
 			if err != nil {
 				return Estimate{}, false, err
 			}
@@ -262,11 +407,11 @@ func (s *Scheduler) bbSearch(policy sched.Policy, tp sched.TPSpec, axes []Axis, 
 
 		mid := (b.lo[dim] + b.hi[dim]) / 2
 		for _, half := range splitAt(b, dim, mid) {
-			upp, err := s.point(policy, tp, axes, half.hi)
+			upp, err := s.point(policy, tp, axes, half.hi, evals)
 			if err != nil {
 				return Estimate{}, false, err
 			}
-			lowr, err := s.point(policy, tp, axes, half.lo)
+			lowr, err := s.point(policy, tp, axes, half.lo, evals)
 			if err != nil {
 				return Estimate{}, false, err
 			}
@@ -277,7 +422,7 @@ func (s *Scheduler) bbSearch(policy sched.Policy, tp sched.TPSpec, axes []Axis, 
 			// the latency bound (within tolerance).
 			if lowr.lat < lbound+epsL {
 				// Line 18: and whose upper bound can improve T*.
-				if !found || half.upperTput()+s.TolT*best.Throughput >= best.Throughput {
+				if canBeat(half.upperTput()) {
 					queue = append(queue, half)
 				}
 			}
@@ -353,104 +498,130 @@ func (s *Scheduler) axesFor(policy sched.Policy) []Axis {
 
 // FindBest runs Algorithm 1 for every policy in policies and every TP
 // choice and returns the highest-throughput schedule satisfying lbound.
+//
+// Branches run concurrently on the worker pool; the shared throughput
+// lower bound tightens pruning globally as branch results land. The
+// selected schedule is deterministic across worker counts as long as a
+// block's top-corner throughput upper-bounds its interior (the §4.2
+// monotonicity that Algorithm 1 assumes, with TolT absorbing small
+// violations — Table 5 measures how well it holds): then pruning can
+// only discard points strictly below the optimum, the grid-point
+// corners at or above it are always evaluated, and the reduction walks
+// branches in canonical order with a total-order tie-break (better).
+// Where the simulator is non-monotone beyond TolT, a timing-dependent
+// shared bound could prune an interior point a sequential run keeps —
+// the same point Algorithm 1 itself already risks missing. Evals
+// always varies with pruning timing.
 func (s *Scheduler) FindBest(policies []sched.Policy, lbound float64) (Result, error) {
-	s.Evals = 0
+	jobs := s.branches(policies)
+	shared := &tputBound{}
+	outs := make([]branchOutcome, len(jobs))
+	s.forEachBranch(len(jobs), func(i int) {
+		j := jobs[i]
+		o := &outs[i]
+		o.est, o.found, o.err = s.bbSearch(j.policy, j.tp, s.axesFor(j.policy), lbound, shared, &o.evals)
+	})
+	return s.reduce(outs)
+}
+
+// reduce folds branch outcomes in canonical order into one Result.
+func (s *Scheduler) reduce(outs []branchOutcome) (Result, error) {
 	var best Estimate
 	found := false
-	for _, policy := range policies {
-		for _, tp := range s.tpChoices() {
-			if policy.IsWAA() && tp.GPUs >= s.Sim.Cluster.TotalGPUs() {
-				continue // decode side cannot take every GPU
-			}
-			est, ok, err := s.bbSearch(policy, tp, s.axesFor(policy), lbound)
-			if err != nil {
-				return Result{}, err
-			}
-			if ok && (!found || est.Throughput > best.Throughput) {
-				best = est
-				found = true
-			}
+	evals := 0
+	for i := range outs {
+		o := &outs[i]
+		if o.err != nil {
+			return Result{}, o.err
+		}
+		evals += o.evals
+		if o.found && (!found || better(o.est, best)) {
+			best = o.est
+			found = true
 		}
 	}
-	return Result{Best: best, Found: found, Evals: s.Evals}, nil
+	s.Evals = evals
+	return Result{Best: best, Found: found, Evals: evals}, nil
+}
+
+// scanGrid walks a branch's full grid, invoking visit on every point.
+func (s *Scheduler) scanGrid(j branch, evals *int, visit func(perf)) error {
+	axes := s.axesFor(j.policy)
+	idx := make([]int, len(axes))
+	for {
+		p, err := s.point(j.policy, j.tp, axes, idx, evals)
+		if err != nil {
+			return err
+		}
+		visit(p)
+		// Advance the mixed-radix counter.
+		d := 0
+		for d < len(axes) {
+			idx[d]++
+			if idx[d] < axes[d].Size() {
+				break
+			}
+			idx[d] = 0
+			d++
+		}
+		if d == len(axes) {
+			break
+		}
+	}
+	return nil
 }
 
 // MinLatency scans the search grid and returns the lowest achievable
 // latency over the given policies (useful for picking meaningful
-// latency bounds).
+// latency bounds). Branches scan concurrently; the grid is fixed, so
+// both the minimum and Evals are deterministic.
 func (s *Scheduler) MinLatency(policies []sched.Policy) (float64, error) {
+	jobs := s.branches(policies)
+	type minOutcome struct {
+		min   float64
+		evals int
+		err   error
+	}
+	outs := make([]minOutcome, len(jobs))
+	s.forEachBranch(len(jobs), func(i int) {
+		o := &outs[i]
+		o.min = math.Inf(1)
+		o.err = s.scanGrid(jobs[i], &o.evals, func(p perf) {
+			if p.est.Feasible && p.lat < o.min {
+				o.min = p.lat
+			}
+		})
+	})
 	min := math.Inf(1)
-	for _, policy := range policies {
-		for _, tp := range s.tpChoices() {
-			if policy.IsWAA() && tp.GPUs >= s.Sim.Cluster.TotalGPUs() {
-				continue
-			}
-			axes := s.axesFor(policy)
-			idx := make([]int, len(axes))
-			for {
-				p, err := s.point(policy, tp, axes, idx)
-				if err != nil {
-					return 0, err
-				}
-				if p.est.Feasible && p.lat < min {
-					min = p.lat
-				}
-				d := 0
-				for d < len(axes) {
-					idx[d]++
-					if idx[d] < axes[d].Size() {
-						break
-					}
-					idx[d] = 0
-					d++
-				}
-				if d == len(axes) {
-					break
-				}
-			}
+	evals := 0
+	for _, o := range outs {
+		if o.err != nil {
+			return 0, o.err
+		}
+		evals += o.evals
+		if o.min < min {
+			min = o.min
 		}
 	}
+	s.Evals = evals
 	return min, nil
 }
 
 // Exhaustive evaluates every grid point (the §7.7 baseline that takes
 // "five hours to an entire day" on the real system) and returns the
-// true optimum over the same search space.
+// true optimum over the same search space. Branches scan concurrently;
+// no pruning is applied, so Evals is the full deterministic grid size.
 func (s *Scheduler) Exhaustive(policies []sched.Policy, lbound float64) (Result, error) {
-	s.Evals = 0
-	var best Estimate
-	found := false
-	for _, policy := range policies {
-		for _, tp := range s.tpChoices() {
-			if policy.IsWAA() && tp.GPUs >= s.Sim.Cluster.TotalGPUs() {
-				continue
+	jobs := s.branches(policies)
+	outs := make([]branchOutcome, len(jobs))
+	s.forEachBranch(len(jobs), func(i int) {
+		o := &outs[i]
+		o.err = s.scanGrid(jobs[i], &o.evals, func(p perf) {
+			if p.est.Feasible && p.lat < lbound && (!o.found || better(p.est, o.est)) {
+				o.est = p.est
+				o.found = true
 			}
-			axes := s.axesFor(policy)
-			idx := make([]int, len(axes))
-			for {
-				p, err := s.point(policy, tp, axes, idx)
-				if err != nil {
-					return Result{}, err
-				}
-				if p.est.Feasible && p.lat < lbound && (!found || p.tput > best.Throughput) {
-					best = p.est
-					found = true
-				}
-				// Advance the mixed-radix counter.
-				d := 0
-				for d < len(axes) {
-					idx[d]++
-					if idx[d] < axes[d].Size() {
-						break
-					}
-					idx[d] = 0
-					d++
-				}
-				if d == len(axes) {
-					break
-				}
-			}
-		}
-	}
-	return Result{Best: best, Found: found, Evals: s.Evals}, nil
+		})
+	})
+	return s.reduce(outs)
 }

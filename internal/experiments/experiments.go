@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"exegpt/internal/baselines"
 	"exegpt/internal/core"
@@ -20,7 +21,9 @@ import (
 	"exegpt/internal/workload"
 )
 
-// Context carries experiment-wide settings.
+// Context carries experiment-wide settings. A Context is safe for
+// concurrent use: the profile memo is mutex-guarded and everything else
+// is read-only after construction.
 type Context struct {
 	// Seed drives all request sampling.
 	Seed int64
@@ -28,54 +31,75 @@ type Context struct {
 	Requests int
 	// Quick shrinks sweeps for fast test runs.
 	Quick bool
+	// Workers sizes the scheduler worker pool of every deployment built
+	// through Deploy; 0 means runtime.GOMAXPROCS(0).
+	Workers int
 
-	profiles map[string]*profile.Table
+	mu       sync.Mutex
+	profiles map[string]*profileEntry
+}
+
+// profileEntry memoizes one profiling run; Once serializes concurrent
+// requests for the same (model, sub-cluster) key without blocking
+// profiling of other keys.
+type profileEntry struct {
+	once sync.Once
+	tab  *profile.Table
+	err  error
 }
 
 // NewContext returns defaults matching the paper-scale runs.
 func NewContext() *Context {
-	return &Context{Seed: 42, Requests: 1200, profiles: map[string]*profile.Table{}}
+	return &Context{Seed: 42, Requests: 1200, profiles: map[string]*profileEntry{}}
 }
 
 // NewQuickContext returns a reduced-cost context for tests.
 func NewQuickContext() *Context {
-	return &Context{Seed: 42, Requests: 500, Quick: true, profiles: map[string]*profile.Table{}}
+	return &Context{Seed: 42, Requests: 500, Quick: true, profiles: map[string]*profileEntry{}}
 }
 
-// deployment bundles everything needed to evaluate one (model, cluster,
-// task) combination.
-type deployment struct {
-	model   model.Model
-	cluster hw.Cluster
-	prof    *profile.Table
-	task    workload.Task
-	in, out *seqdist.Dist
-	sim     *core.Simulator
-	sch     *core.Scheduler
-	run     *runner.Engine
+// Deployment bundles everything needed to evaluate one (model, cluster,
+// task) combination. Each Deployment owns its Simulator, Scheduler and
+// runner Engine, so separate Deployments can be driven concurrently;
+// the profile Table may be shared between them but is immutable.
+type Deployment struct {
+	Model   model.Model
+	Cluster hw.Cluster
+	Prof    *profile.Table
+	Task    workload.Task
+	In, Out *seqdist.Dist
+	Sim     *core.Simulator
+	Sch     *core.Scheduler
+	Run     *runner.Engine
 }
 
 // profileFor memoizes profiling per (model, sub-cluster).
 func (c *Context) profileFor(m model.Model, sub hw.Cluster) (*profile.Table, error) {
 	key := m.Name + "/" + sub.Name + "/" + fmt.Sprint(sub.TotalGPUs())
-	if t, ok := c.profiles[key]; ok {
-		return t, nil
-	}
-	p, err := profile.New(m, sub)
-	if err != nil {
-		return nil, err
-	}
-	t := p.Run()
+	c.mu.Lock()
 	if c.profiles == nil {
-		c.profiles = map[string]*profile.Table{}
+		c.profiles = map[string]*profileEntry{}
 	}
-	c.profiles[key] = t
-	return t, nil
+	e, ok := c.profiles[key]
+	if !ok {
+		e = &profileEntry{}
+		c.profiles[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		p, err := profile.New(m, sub)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.tab = p.Run()
+	})
+	return e.tab, e.err
 }
 
-// deploy sets up a deployment for a model on gpus of cluster running
+// Deploy sets up a deployment for a model on gpus of cluster running
 // task.
-func (c *Context) deploy(m model.Model, cluster hw.Cluster, gpus int, task workload.Task) (*deployment, error) {
+func (c *Context) Deploy(m model.Model, cluster hw.Cluster, gpus int, task workload.Task) (*Deployment, error) {
 	sub, err := cluster.Sub(gpus)
 	if err != nil {
 		return nil, err
@@ -93,6 +117,7 @@ func (c *Context) deploy(m model.Model, cluster hw.Cluster, gpus int, task workl
 		return nil, err
 	}
 	sch := core.NewScheduler(sim)
+	sch.Workers = c.Workers
 	if c.Quick {
 		sch.MaxBatch = 512
 		sch.MaxND = 32
@@ -101,14 +126,15 @@ func (c *Context) deploy(m model.Model, cluster hw.Cluster, gpus int, task workl
 	if err != nil {
 		return nil, err
 	}
-	return &deployment{
-		model: m, cluster: sub, prof: prof, task: task,
-		in: in, out: out, sim: sim, sch: sch, run: run,
+	return &Deployment{
+		Model: m, Cluster: sub, Prof: prof, Task: task,
+		In: in, Out: out, Sim: sim, Sch: sch, Run: run,
 	}, nil
 }
 
-// requests draws the evaluation request stream.
-func (c *Context) requests(task workload.Task, n int) ([]workload.Request, error) {
+// RequestStream draws the evaluation request stream (n <= 0 uses the
+// context default).
+func (c *Context) RequestStream(task workload.Task, n int) ([]workload.Request, error) {
 	g, err := workload.NewGenerator(task, c.Seed)
 	if err != nil {
 		return nil, err
@@ -123,19 +149,19 @@ func (c *Context) requests(task workload.Task, n int) ([]workload.Request, error
 	return g.Batch(n), nil
 }
 
-// ftBounds derives the paper's four latency constraints from FT's
+// FTBounds derives the paper's four latency constraints from FT's
 // batch-size/latency sweep: bottom 10%, 30%, 70% and infinity (§7.1).
-func (d *deployment) ftBounds() ([]float64, error) {
-	ft, err := baselines.New(baselines.FT, d.model, d.cluster, d.prof)
+func (d *Deployment) FTBounds() ([]float64, error) {
+	ft, err := baselines.New(baselines.FT, d.Model, d.Cluster, d.Prof)
 	if err != nil {
 		return nil, err
 	}
-	sweep, err := ft.LatencySweep(d.in.Mean(), d.out.Mean(), d.task.Out.Max, d.task.Out.Max)
+	sweep, err := ft.LatencySweep(d.In.Mean(), d.Out.Mean(), d.Task.Out.Max, d.Task.Out.Max)
 	if err != nil {
 		return nil, err
 	}
 	if len(sweep) == 0 {
-		return nil, fmt.Errorf("experiments: FT has no feasible batch for %s on %s", d.task.ID, d.model.Name)
+		return nil, fmt.Errorf("experiments: FT has no feasible batch for %s on %s", d.Task.ID, d.Model.Name)
 	}
 	pick := func(q float64) float64 {
 		i := int(q * float64(len(sweep)))
@@ -147,40 +173,40 @@ func (d *deployment) ftBounds() ([]float64, error) {
 	return []float64{pick(0.10), pick(0.30), pick(0.70), math.Inf(1)}, nil
 }
 
-// runBaseline picks the largest bound-feasible batch for the system and
+// RunBaseline picks the largest bound-feasible batch for the system and
 // measures its execution.
-func (d *deployment) runBaseline(sys baselines.System, bound float64, reqs []workload.Request) (float64, error) {
-	e, err := baselines.New(sys, d.model, d.cluster, d.prof)
+func (d *Deployment) RunBaseline(sys baselines.System, bound float64, reqs []workload.Request) (float64, error) {
+	e, err := baselines.New(sys, d.Model, d.Cluster, d.Prof)
 	if err != nil {
 		return 0, err
 	}
-	boundLen := d.task.Out.Max
+	boundLen := d.Task.Out.Max
 	if sys == baselines.ORCA || sys == baselines.VLLM {
-		boundLen = d.out.Percentile(0.99)
+		boundLen = d.Out.Percentile(0.99)
 	}
-	b, err := e.PickBatch(bound, d.in.Mean(), d.out.Mean(), boundLen, d.task.Out.Max)
+	b, err := e.PickBatch(bound, d.In.Mean(), d.Out.Mean(), boundLen, d.Task.Out.Max)
 	if err != nil {
 		return 0, err
 	}
 	if b == 0 {
 		return 0, nil // bound not satisfiable
 	}
-	res, err := e.Run(b, reqs, d.task.Out.Max)
+	res, err := e.Run(b, reqs, d.Task.Out.Max)
 	if err != nil {
 		return 0, err
 	}
 	return res.Stats.EffectiveTput(), nil
 }
 
-// scheduleAndRun finds the best schedule under the bound for the given
+// ScheduleAndRun finds the best schedule under the bound for the given
 // policies and executes it, returning the measured throughput. ok=false
 // means no feasible schedule (the paper's "NS").
-func (d *deployment) scheduleAndRun(policies []sched.Policy, bound float64, reqs []workload.Request) (tput float64, est core.Estimate, ok bool, err error) {
-	res, err := d.sch.FindBest(policies, bound)
+func (d *Deployment) ScheduleAndRun(policies []sched.Policy, bound float64, reqs []workload.Request) (tput float64, est core.Estimate, ok bool, err error) {
+	res, err := d.Sch.FindBest(policies, bound)
 	if err != nil || !res.Found {
 		return 0, core.Estimate{}, false, err
 	}
-	out, err := d.run.Run(res.Best.Config, res.Best.Alloc, reqs)
+	out, err := d.Run.Run(res.Best.Config, res.Best.Alloc, reqs)
 	if err != nil {
 		// A schedule that passes the simulator but trips runtime OOM on
 		// sampled tails counts as not satisfiable.

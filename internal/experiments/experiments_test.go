@@ -2,11 +2,64 @@ package experiments
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
+
+	"exegpt/internal/hw"
+	"exegpt/internal/model"
+	"exegpt/internal/sched"
+	"exegpt/internal/workload"
 )
 
 func quick() *Context { return NewQuickContext() }
+
+// TestSweepDeterministicAcrossWorkers runs the same small grid with one
+// and four deployment workers (the four-worker run also exercising the
+// shared profile memo concurrently) and requires identical rows.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	grid := SweepGrid{
+		Deployments: []sched.Deployment{
+			{Model: model.OPT13B, Cluster: hw.A40Cluster, GPUs: 4},
+		},
+		Tasks: []workload.Task{workload.Summarization, workload.Translation},
+	}
+
+	grid.Workers = 1
+	seq, err := quick().Sweep(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid.Workers = 4
+	par, err := quick().Sweep(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) == 0 {
+		t.Fatal("no rows")
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("sweep diverged across worker counts:\n seq %+v\n par %+v", seq, par)
+	}
+
+	// Shape: every cell reports FT plus both ExeGPT policy groups, and
+	// FT is feasible at its own derived bounds.
+	systems := map[string]int{}
+	for _, r := range seq {
+		systems[r.System]++
+		if r.System == "FT" && !r.Feasible {
+			t.Errorf("%s/%s LB %v: FT infeasible at its own bound", r.Model, r.Task, r.Bound)
+		}
+	}
+	for _, sys := range []string{"FT", "ExeGPT-RRA", "ExeGPT-WAA"} {
+		if systems[sys] == 0 {
+			t.Errorf("system %s missing from sweep", sys)
+		}
+	}
+	if s := FormatSweep(seq); !strings.Contains(s, "ExeGPT-RRA") {
+		t.Fatal("format broken")
+	}
+}
 
 func TestStaticTablesRender(t *testing.T) {
 	for name, s := range map[string]string{

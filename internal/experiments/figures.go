@@ -83,23 +83,23 @@ func (c *Context) throughputFigure(deps []sched.Deployment, tasks []workload.Tas
 	var cells []ThroughputCell
 	for _, dply := range deps {
 		for _, task := range tasks {
-			d, err := c.deploy(dply.Model, dply.Cluster, dply.GPUs, task)
+			d, err := c.Deploy(dply.Model, dply.Cluster, dply.GPUs, task)
 			if err != nil {
 				return nil, err
 			}
-			bounds, err := d.ftBounds()
+			bounds, err := d.FTBounds()
 			if err != nil {
 				return nil, err
 			}
 			if c.Quick {
 				bounds = []float64{bounds[1], math.Inf(1)}
 			}
-			reqs, err := c.requests(task, 0)
+			reqs, err := c.RequestStream(task, 0)
 			if err != nil {
 				return nil, err
 			}
 			for _, bound := range bounds {
-				ftTput, err := d.runBaseline(baselines.FT, bound, reqs)
+				ftTput, err := d.RunBaseline(baselines.FT, bound, reqs)
 				if err != nil {
 					return nil, err
 				}
@@ -108,7 +108,7 @@ func (c *Context) throughputFigure(deps []sched.Deployment, tasks []workload.Tas
 					System: "FT", Tput: ftTput, Feasible: ftTput > 0,
 				})
 				if rra {
-					tput, _, ok, err := d.scheduleAndRun([]sched.Policy{sched.RRA}, bound, reqs)
+					tput, _, ok, err := d.ScheduleAndRun([]sched.Policy{sched.RRA}, bound, reqs)
 					if err != nil {
 						return nil, err
 					}
@@ -118,7 +118,7 @@ func (c *Context) throughputFigure(deps []sched.Deployment, tasks []workload.Tas
 					})
 				}
 				if waa {
-					tput, _, ok, err := d.scheduleAndRun([]sched.Policy{sched.WAAC, sched.WAAM}, bound, reqs)
+					tput, _, ok, err := d.ScheduleAndRun([]sched.Policy{sched.WAAC, sched.WAAM}, bound, reqs)
 					if err != nil {
 						return nil, err
 					}
@@ -161,24 +161,24 @@ func (c *Context) Figure7() ([]ThroughputCell, error) {
 		tasks = tasks[:1]
 	}
 	for _, task := range tasks {
-		d, err := c.deploy(model.OPT13B, hw.A40Cluster, 4, task)
+		d, err := c.Deploy(model.OPT13B, hw.A40Cluster, 4, task)
 		if err != nil {
 			return nil, err
 		}
-		bounds, err := d.ftBounds()
+		bounds, err := d.FTBounds()
 		if err != nil {
 			return nil, err
 		}
 		if c.Quick {
 			bounds = []float64{bounds[1], math.Inf(1)}
 		}
-		reqs, err := c.requests(task, 0)
+		reqs, err := c.RequestStream(task, 0)
 		if err != nil {
 			return nil, err
 		}
 		for _, bound := range bounds {
 			for _, sys := range []baselines.System{baselines.FT, baselines.DSI, baselines.ORCA, baselines.VLLM} {
-				tput, err := d.runBaseline(sys, bound, reqs)
+				tput, err := d.RunBaseline(sys, bound, reqs)
 				if err != nil {
 					return nil, err
 				}
@@ -236,21 +236,21 @@ func (c *Context) Figure9() ([]MemoryCell, error) {
 	}
 	for _, cb := range combos {
 		for _, task := range []workload.Task{workload.Translation, workload.CodeGeneration} {
-			d, err := c.deploy(cb.m, cb.cl, cb.gpus, task)
+			d, err := c.Deploy(cb.m, cb.cl, cb.gpus, task)
 			if err != nil {
 				return nil, err
 			}
 			// FT at its max feasible batch (LB = inf).
-			ft, err := baselines.New(baselines.FT, d.model, d.cluster, d.prof)
+			ft, err := baselines.New(baselines.FT, d.Model, d.Cluster, d.Prof)
 			if err != nil {
 				return nil, err
 			}
-			b := ft.MaxFeasibleBatch(d.in.Mean(), d.task.Out.Max, 512)
-			reqs, err := c.requests(task, 0)
+			b := ft.MaxFeasibleBatch(d.In.Mean(), d.Task.Out.Max, 512)
+			reqs, err := c.RequestStream(task, 0)
 			if err != nil {
 				return nil, err
 			}
-			ftRes, err := ft.Run(maxInt(b, 4), reqs, d.task.Out.Max)
+			ftRes, err := ft.Run(maxInt(b, 4), reqs, d.Task.Out.Max)
 			if err != nil {
 				return nil, err
 			}
@@ -261,7 +261,7 @@ func (c *Context) Figure9() ([]MemoryCell, error) {
 			}
 
 			// WAA at its unconstrained optimum.
-			res, err := d.sch.FindBest([]sched.Policy{sched.WAAC, sched.WAAM}, math.Inf(1))
+			res, err := d.Sch.FindBest([]sched.Policy{sched.WAAC, sched.WAAM}, math.Inf(1))
 			if err != nil {
 				return nil, err
 			}
@@ -282,16 +282,16 @@ func (c *Context) Figure9() ([]MemoryCell, error) {
 
 // ftWeightBytes returns the weight bytes on FT's most loaded GPU: all
 // layers sharded over TP within the node and PP across nodes.
-func ftWeightBytes(d *deployment) int64 {
-	tp := minInt(d.cluster.GPUsPerNode, d.cluster.TotalGPUs())
-	pp := d.cluster.TotalGPUs() / tp
-	layers := (d.model.TotalLayers() + pp - 1) / pp
-	return int64(layers) * d.model.DecLayerBytes() / int64(tp)
+func ftWeightBytes(d *Deployment) int64 {
+	tp := minInt(d.Cluster.GPUsPerNode, d.Cluster.TotalGPUs())
+	pp := d.Cluster.TotalGPUs() / tp
+	layers := (d.Model.TotalLayers() + pp - 1) / pp
+	return int64(layers) * d.Model.DecLayerBytes() / int64(tp)
 }
 
-func waaWeightBytes(d *deployment, alloc sched.Allocation) (enc, dec int64) {
+func waaWeightBytes(d *Deployment, alloc sched.Allocation) (enc, dec int64) {
 	for _, st := range alloc.Stages {
-		w := sched.WeightBytesPerGPU(d.model, st)
+		w := sched.WeightBytesPerGPU(d.Model, st)
 		switch st.Role {
 		case sched.RoleEncode:
 			if w > enc {
@@ -337,19 +337,19 @@ func (c *Context) Figure10() ([]ThroughputCell, error) {
 			if err != nil {
 				return nil, err
 			}
-			d, err := c.deploy(cb.m, cb.cl, cb.gpus, task)
+			d, err := c.Deploy(cb.m, cb.cl, cb.gpus, task)
 			if err != nil {
 				return nil, err
 			}
 			// Schedule against the observed distributions.
-			d.sim.In, d.sim.Out = inObs, outObs
-			bounds, err := d.ftBounds()
+			d.Sim.In, d.Sim.Out = inObs, outObs
+			bounds, err := d.FTBounds()
 			if err != nil {
 				return nil, err
 			}
 			use := []float64{bounds[1], math.Inf(1)} // 30% and infinity
 			for _, bound := range use {
-				ftTput, err := d.runBaseline(baselines.FT, bound, eval)
+				ftTput, err := d.RunBaseline(baselines.FT, bound, eval)
 				if err != nil {
 					return nil, err
 				}
@@ -364,7 +364,7 @@ func (c *Context) Figure10() ([]ThroughputCell, error) {
 					{"ExeGPT-RRA", []sched.Policy{sched.RRA}},
 					{"ExeGPT-WAA", []sched.Policy{sched.WAAC, sched.WAAM}},
 				} {
-					tput, _, ok, err := d.scheduleAndRun(pol.policies, bound, eval)
+					tput, _, ok, err := d.ScheduleAndRun(pol.policies, bound, eval)
 					if err != nil {
 						return nil, err
 					}
@@ -404,25 +404,25 @@ type ShiftCell struct {
 // changes (§7.6).
 func (c *Context) Figure11() ([]ShiftCell, error) {
 	task := workload.Translation
-	d, err := c.deploy(model.OPT13B, hw.A40Cluster, 4, task)
+	d, err := c.Deploy(model.OPT13B, hw.A40Cluster, 4, task)
 	if err != nil {
 		return nil, err
 	}
-	bounds, err := d.ftBounds()
+	bounds, err := d.FTBounds()
 	if err != nil {
 		return nil, err
 	}
 	bound := bounds[1] // bottom 30% (§7.6)
 
 	// Base schedule (WAA only; RRA adapts without re-allocation, §7.6).
-	base, err := d.sch.FindBest([]sched.Policy{sched.WAAC, sched.WAAM}, bound)
+	base, err := d.Sch.FindBest([]sched.Policy{sched.WAAC, sched.WAAM}, bound)
 	if err != nil {
 		return nil, err
 	}
 	if !base.Found {
 		// Fall back to the loosest bound if 30% is unreachable for WAA.
 		bound = bounds[2]
-		base, err = d.sch.FindBest([]sched.Policy{sched.WAAC, sched.WAAM}, bound)
+		base, err = d.Sch.FindBest([]sched.Policy{sched.WAAC, sched.WAAM}, bound)
 		if err != nil {
 			return nil, err
 		}
@@ -430,11 +430,11 @@ func (c *Context) Figure11() ([]ShiftCell, error) {
 			return nil, fmt.Errorf("experiments: no feasible WAA schedule for figure 11")
 		}
 	}
-	baseReqs, err := c.requests(task, 0)
+	baseReqs, err := c.RequestStream(task, 0)
 	if err != nil {
 		return nil, err
 	}
-	baseRun, err := d.run.Run(base.Best.Config, base.Best.Alloc, baseReqs)
+	baseRun, err := d.Run.Run(base.Best.Config, base.Best.Alloc, baseReqs)
 	if err != nil {
 		return nil, err
 	}
@@ -446,7 +446,7 @@ func (c *Context) Figure11() ([]ShiftCell, error) {
 		out   *seqdist.Dist
 	}
 	var variants []variant
-	mean, std := d.out.Mean(), d.out.Std()
+	mean, std := d.Out.Mean(), d.Out.Std()
 	avgFactors := []float64{0.7, 0.85, 1.15, 1.3}
 	stdFactors := []float64{0.7, 1.3}
 	skews := []float64{-0.41, -0.2, 0.2, 0.41}
@@ -486,18 +486,19 @@ func (c *Context) Figure11() ([]ShiftCell, error) {
 			return nil, err
 		}
 		// Non-adjusted: stale schedule.
-		staleRun, err := d.run.Run(base.Best.Config, base.Best.Alloc, reqs)
+		staleRun, err := d.Run.Run(base.Best.Config, base.Best.Alloc, reqs)
 		var staleTput, p99 float64
 		if err == nil {
 			staleTput = staleRun.Stats.EffectiveTput()
 			p99 = staleRun.Stats.P99Lat
 		}
 		// Optimal: re-schedule for the shifted distribution.
-		simShift, err := core.NewSimulator(d.model, d.cluster, d.prof, d.in, v.out)
+		simShift, err := core.NewSimulator(d.Model, d.Cluster, d.Prof, d.In, v.out)
 		if err != nil {
 			return nil, err
 		}
 		schShift := core.NewScheduler(simShift)
+		schShift.Workers = c.Workers
 		if c.Quick {
 			schShift.MaxBatch = 512
 			schShift.MaxND = 32
@@ -508,7 +509,7 @@ func (c *Context) Figure11() ([]ShiftCell, error) {
 		}
 		optTput := 0.0
 		if opt.Found {
-			if optRun, err := d.run.Run(opt.Best.Config, opt.Best.Alloc, reqs); err == nil {
+			if optRun, err := d.Run.Run(opt.Best.Config, opt.Best.Alloc, reqs); err == nil {
 				optTput = optRun.Stats.EffectiveTput()
 			}
 		}

@@ -1,0 +1,187 @@
+// Sweep: a grid evaluation over deployments (model × cluster size) and
+// tasks, parallel across deployments. Each (deployment, task) cell gets
+// its own Simulator, Scheduler and runner Engine, so cells are
+// independent; only the memoized profile Table is shared, and that is
+// immutable once built. Results are reduced in grid order, so the
+// output is deterministic regardless of which worker finishes first.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"exegpt/internal/baselines"
+	"exegpt/internal/par"
+	"exegpt/internal/sched"
+	"exegpt/internal/workload"
+)
+
+// SweepRow is one measured cell of a sweep: one system on one
+// (deployment, task, latency bound) combination.
+type SweepRow struct {
+	Model   string
+	Cluster string
+	GPUs    int
+	Task    string
+	Bound   float64
+	System  string
+	Tput    float64
+	// Feasible is false for the paper's "NS" entries.
+	Feasible bool
+}
+
+// SweepGrid names the grid to evaluate. Zero-valued fields fall back to
+// the paper's defaults (Table 2 deployments, the five synthetic tasks).
+type SweepGrid struct {
+	Deployments []sched.Deployment
+	Tasks       []workload.Task
+	// Policies selects the ExeGPT policy groups to schedule; empty runs
+	// RRA and WAA (the paper's two families).
+	Policies [][]sched.Policy
+	// Workers bounds the number of deployments evaluated concurrently;
+	// 0 means runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// policyGroupName labels a policy group the way the figures do.
+func policyGroupName(ps []sched.Policy) string {
+	for _, p := range ps {
+		if p.IsWAA() {
+			return "ExeGPT-WAA"
+		}
+	}
+	return "ExeGPT-RRA"
+}
+
+// defaultPolicyGroups mirrors the figure comparisons: RRA alone and the
+// two WAA variants together.
+func defaultPolicyGroups() [][]sched.Policy {
+	return [][]sched.Policy{
+		{sched.RRA},
+		{sched.WAAC, sched.WAAM},
+	}
+}
+
+// Sweep evaluates FT plus every requested ExeGPT policy group on every
+// (deployment, task) cell under the FT-derived latency bounds. Cells
+// run concurrently on a bounded worker pool: the grid is flattened in
+// canonical (deployment, task) order, each cell appends only to its own
+// slot, and rows are concatenated in grid order afterwards.
+func (c *Context) Sweep(grid SweepGrid) ([]SweepRow, error) {
+	deps := grid.Deployments
+	if len(deps) == 0 {
+		deps = sched.DefaultDeployments
+	}
+	tasks := grid.Tasks
+	if len(tasks) == 0 {
+		tasks = workload.Tasks
+	}
+	groups := grid.Policies
+	if len(groups) == 0 {
+		groups = defaultPolicyGroups()
+	}
+
+	type cell struct {
+		dep  sched.Deployment
+		task workload.Task
+	}
+	var cells []cell
+	for _, dep := range deps {
+		for _, task := range tasks {
+			cells = append(cells, cell{dep: dep, task: task})
+		}
+	}
+
+	workers := grid.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	// Split the worker budget across the two parallelism levels instead
+	// of multiplying them: `workers` cells run concurrently, and each
+	// cell's scheduler gets the remaining share of the budget, so the
+	// total stays at ~GOMAXPROCS runnable goroutines.
+	schedWorkers := 1
+	if workers > 0 {
+		if schedWorkers = runtime.GOMAXPROCS(0) / workers; schedWorkers < 1 {
+			schedWorkers = 1
+		}
+	}
+
+	results := make([][]SweepRow, len(cells))
+	errs := make([]error, len(cells))
+	par.ForEach(len(cells), workers, func(i int) {
+		cl := cells[i]
+		results[i], errs[i] = c.sweepCell(cl.dep, cl.task, groups, schedWorkers)
+	})
+
+	var rows []SweepRow
+	for i := range cells {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("experiments: sweep %s/%s on %d GPUs: %w",
+				cells[i].dep.Model.Name, cells[i].task.ID, cells[i].dep.GPUs, errs[i])
+		}
+		rows = append(rows, results[i]...)
+	}
+	return rows, nil
+}
+
+// sweepCell measures one (deployment, task) cell across its bounds.
+// schedWorkers overrides the cell scheduler's pool size so the sweep
+// controls the total parallelism budget.
+func (c *Context) sweepCell(dep sched.Deployment, task workload.Task, groups [][]sched.Policy, schedWorkers int) ([]SweepRow, error) {
+	d, err := c.Deploy(dep.Model, dep.Cluster, dep.GPUs, task)
+	if err != nil {
+		return nil, err
+	}
+	d.Sch.Workers = schedWorkers
+	bounds, err := d.FTBounds()
+	if err != nil {
+		return nil, err
+	}
+	if c.Quick {
+		bounds = []float64{bounds[1], bounds[3]}
+	}
+	reqs, err := c.RequestStream(task, 0)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SweepRow
+	base := SweepRow{
+		Model: dep.Model.Name, Cluster: dep.Cluster.Name,
+		GPUs: dep.GPUs, Task: task.ID,
+	}
+	for _, bound := range bounds {
+		ftTput, err := d.RunBaseline(baselines.FT, bound, reqs)
+		if err != nil {
+			return nil, err
+		}
+		row := base
+		row.Bound, row.System, row.Tput, row.Feasible = bound, "FT", ftTput, ftTput > 0
+		rows = append(rows, row)
+		for _, group := range groups {
+			// WAA needs a dedicated decode side; skip groups that cannot
+			// apply (e.g. WAA with every GPU already required for encode).
+			tput, _, ok, err := d.ScheduleAndRun(group, bound, reqs)
+			if err != nil {
+				return nil, err
+			}
+			row := base
+			row.Bound, row.System, row.Tput, row.Feasible = bound, policyGroupName(group), tput, ok
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FormatSweep renders sweep rows as a fixed-width table.
+func FormatSweep(rows []SweepRow) string {
+	t := newTable("Model", "Cluster", "GPUs", "Task", "LB", "System", "Tput (seq/s)")
+	for _, r := range rows {
+		t.addRow(r.Model, r.Cluster, fmt.Sprint(r.GPUs), r.Task,
+			fmtBound(r.Bound), r.System, fmtTput(r.Tput, r.Feasible))
+	}
+	return t.String()
+}

@@ -120,14 +120,14 @@ func (c *Context) Table5() ([]MonoRow, error) {
 		tols = []float64{0.05}
 	}
 	for _, task := range tasks {
-		d, err := c.deploy(model.GPT339B, hw.A40Cluster, 16, task)
+		d, err := c.Deploy(model.GPT339B, hw.A40Cluster, 16, task)
 		if err != nil {
 			return nil, err
 		}
 		for _, tol := range tols {
 			row := MonoRow{Task: task.ID, Tolerance: tol, Cells: map[string][2]float64{}}
-			for _, sw := range d.sch.Table5Sweeps() {
-				rep, err := d.sch.EvaluateMonotonicity(sw, tol)
+			for _, sw := range d.Sch.Table5Sweeps() {
+				rep, err := d.Sch.EvaluateMonotonicity(sw, tol)
 				if err != nil {
 					return nil, err
 				}
@@ -168,17 +168,17 @@ type CaseRow struct {
 // Table6 reproduces the case study: selected schedules and control
 // variables for OPT-13B, task S, across four latency bounds (§7.8).
 func (c *Context) Table6() ([]CaseRow, error) {
-	d, err := c.deploy(model.OPT13B, hw.A40Cluster, 4, workload.Summarization)
+	d, err := c.Deploy(model.OPT13B, hw.A40Cluster, 4, workload.Summarization)
 	if err != nil {
 		return nil, err
 	}
-	bounds, err := d.ftBounds()
+	bounds, err := d.FTBounds()
 	if err != nil {
 		return nil, err
 	}
 	var rows []CaseRow
 	for _, bound := range bounds {
-		res, err := d.sch.FindBest([]sched.Policy{sched.RRA, sched.WAAC, sched.WAAM}, bound)
+		res, err := d.Sch.FindBest([]sched.Policy{sched.RRA, sched.WAAC, sched.WAAM}, bound)
 		if err != nil {
 			return nil, err
 		}
@@ -218,11 +218,11 @@ type VarianceRow struct {
 // Table7 measures encoder/decoder stage execution-time variance for the
 // selected RRA and WAA schedules on OPT-13B task S (§7.9).
 func (c *Context) Table7() ([]VarianceRow, error) {
-	d, err := c.deploy(model.OPT13B, hw.A40Cluster, 4, workload.Summarization)
+	d, err := c.Deploy(model.OPT13B, hw.A40Cluster, 4, workload.Summarization)
 	if err != nil {
 		return nil, err
 	}
-	reqs, err := c.requests(workload.Summarization, c.Requests*2)
+	reqs, err := c.RequestStream(workload.Summarization, c.Requests*2)
 	if err != nil {
 		return nil, err
 	}
@@ -234,14 +234,14 @@ func (c *Context) Table7() ([]VarianceRow, error) {
 		{"RRA", []sched.Policy{sched.RRA}},
 		{"WAA", []sched.Policy{sched.WAAC, sched.WAAM}},
 	} {
-		res, err := d.sch.FindBest(pol.policies, math.Inf(1))
+		res, err := d.Sch.FindBest(pol.policies, math.Inf(1))
 		if err != nil {
 			return nil, err
 		}
 		if !res.Found {
 			continue
 		}
-		run, err := d.run.Run(res.Best.Config, res.Best.Alloc, reqs)
+		run, err := d.Run.Run(res.Best.Config, res.Best.Alloc, reqs)
 		if err != nil {
 			return nil, err
 		}
@@ -278,11 +278,11 @@ type SchedCostRow struct {
 // SchedulingCost compares branch-and-bound search cost against
 // exhaustive search (§7.7).
 func (c *Context) SchedulingCost() ([]SchedCostRow, error) {
-	d, err := c.deploy(model.OPT13B, hw.A40Cluster, 4, workload.Summarization)
+	d, err := c.Deploy(model.OPT13B, hw.A40Cluster, 4, workload.Summarization)
 	if err != nil {
 		return nil, err
 	}
-	bounds, err := d.ftBounds()
+	bounds, err := d.FTBounds()
 	if err != nil {
 		return nil, err
 	}
@@ -295,12 +295,12 @@ func (c *Context) SchedulingCost() ([]SchedCostRow, error) {
 		{"RRA", []sched.Policy{sched.RRA}},
 		{"WAA", []sched.Policy{sched.WAAC, sched.WAAM}},
 	} {
-		bb, err := d.sch.FindBest(pol.policies, bound)
+		bb, err := d.Sch.FindBest(pol.policies, bound)
 		if err != nil {
 			return nil, err
 		}
 		bbEvals := bb.Evals
-		ex, err := d.sch.Exhaustive(pol.policies, bound)
+		ex, err := d.Sch.Exhaustive(pol.policies, bound)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,45 @@
+// Package par provides the bounded worker-pool primitive shared by the
+// parallel scheduler search (internal/core) and the experiment sweep
+// (internal/experiments). Future fan-outs should use it rather than
+// hand-rolling a third pool.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers
+// goroutines (0 or negative means runtime.GOMAXPROCS(0)). fn must only
+// write to per-index state; ForEach returns after every call finishes.
+// With an effective worker count of one it runs inline, in order.
+func ForEach(n, workers int, fn func(int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

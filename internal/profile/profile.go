@@ -51,6 +51,12 @@ func (c AlphaBeta) Time(n int64) float64 {
 
 // Table holds the measured per-layer kernel times and communication
 // costs for one model on one cluster's GPU type.
+//
+// A Table is immutable once built by Profiler.Run or Decode: every
+// lookup (EncodeLayer, DecodeLayer, PPSend, KVTransfer, ...) only reads
+// the grids, so one Table may be shared freely between concurrent
+// simulators, schedulers, and runner Engines. Callers that memoize
+// Tables must guard the memo itself (see internal/experiments.Context).
 type Table struct {
 	ModelName string `json:"model"`
 	GPUName   string `json:"gpu"`

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench clean
+.PHONY: all build test race lint bench bench-report clean
 
 all: build
 
@@ -25,9 +25,14 @@ lint:
 		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
 	fi
 
-# Compare the sequential and parallel schedule search.
+# Compare the reference and Evaluator estimate paths plus the
+# sequential/parallel schedule search.
 bench:
-	$(GO) test -bench 'FindBest' -run '^$$' -benchmem ./internal/core/
+	$(GO) test -bench 'FindBest|Estimate' -run '^$$' -benchmem ./internal/core/
+
+# Regenerate the committed Estimate/FindBest perf report.
+bench-report: build
+	./exegpt bench -time 1 -out BENCH_estimate.json
 
 clean:
 	rm -f exegpt

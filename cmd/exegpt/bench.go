@@ -1,0 +1,251 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"exegpt/internal/core"
+	"exegpt/internal/model"
+	"exegpt/internal/sched"
+	"exegpt/internal/workload"
+)
+
+// BenchReport is the schema of BENCH_estimate.json: the Estimate
+// hot-path and FindBest timings that track the scheduler's performance
+// trajectory from PR 2 onward. "Reference" is the unmemoized
+// Simulator.Estimate path; "Evaluator" is the per-worker memoized fast
+// path. Both produce bit-identical schedules (BestIdentical).
+type BenchReport struct {
+	GeneratedUnix int64  `json:"generated_unix"`
+	Model         string `json:"model"`
+	Cluster       string `json:"cluster"`
+	GPUs          int    `json:"gpus"`
+	Task          string `json:"task"`
+	LBound        string `json:"lbound"`
+	Workers       int    `json:"workers"`
+
+	// EstimatePerSecEvaluator cycles a fixed config mix, so after the
+	// first pass every probe is a memo hit: it measures the steady-state
+	// per-probe cost — exactly what repeated search probes pay — not a
+	// cold evaluation (which costs about the reference path once, then
+	// never again).
+	EstimatePerSecReference float64 `json:"estimate_per_sec_reference"`
+	EstimatePerSecEvaluator float64 `json:"estimate_per_sec_evaluator"`
+	EstimateSpeedup         float64 `json:"estimate_speedup"`
+
+	// FindBestMsEvaluator is the steady-state search (per-worker memos
+	// persist across FindBest calls — the pattern sweeps and repeated
+	// searches on one Scheduler follow); FindBestMsEvaluatorCold resets
+	// the Evaluators before every call, isolating one from-scratch
+	// search. Speedups are against the reference path.
+	FindBestMsReference     float64 `json:"findbest_ms_reference"`
+	FindBestMsEvaluator     float64 `json:"findbest_ms_evaluator"`
+	FindBestMsEvaluatorCold float64 `json:"findbest_ms_evaluator_cold"`
+	FindBestSpeedup         float64 `json:"findbest_speedup"`
+	FindBestColdSpeedup     float64 `json:"findbest_cold_speedup"`
+	FindBestEvals           int     `json:"findbest_evals"`
+
+	BestSchedule  string  `json:"best_schedule"`
+	BestTput      float64 `json:"best_tput"`
+	BestLatency   float64 `json:"best_latency"`
+	BestIdentical bool    `json:"best_identical"`
+}
+
+// benchConfigs builds a representative config mix across the three
+// policies (and a TP variant when the cluster allows one) for the
+// Estimate-per-second measurement.
+func benchConfigs(gpus int) []sched.Config {
+	one := sched.TPSpec{Degree: 1}
+	cfgs := []sched.Config{
+		{Policy: sched.RRA, BD: 64, BE: 1, ND: 8, TP: one},
+		{Policy: sched.RRA, BD: 512, BE: 1, ND: 32, TP: one},
+		{Policy: sched.RRA, BD: 2048, BE: 1, ND: 64, TP: one},
+		{Policy: sched.WAAC, BE: 8, BD: 1, Bm: 2, TP: one},
+		{Policy: sched.WAAM, BE: 32, BD: 1, Bm: 4, TP: one},
+	}
+	if gpus >= 4 {
+		tp2 := sched.TPSpec{Degree: 2, GPUs: gpus - gpus%2}
+		cfgs = append(cfgs, sched.Config{Policy: sched.RRA, BD: 256, BE: 1, ND: 16, TP: tp2})
+	}
+	return cfgs
+}
+
+// measureRate runs fn in a loop for at least budget and returns
+// calls per second.
+func measureRate(budget time.Duration, fn func() error) (float64, error) {
+	const batch = 64
+	start := time.Now()
+	calls := 0
+	for time.Since(start) < budget {
+		for i := 0; i < batch; i++ {
+			if err := fn(); err != nil {
+				return 0, err
+			}
+		}
+		calls += batch
+	}
+	return float64(calls) / time.Since(start).Seconds(), nil
+}
+
+// measureWall runs fn repeatedly for at least budget (and at least 3
+// times) and returns the mean wall time per call in milliseconds.
+func measureWall(budget time.Duration, fn func() error) (float64, error) {
+	start := time.Now()
+	calls := 0
+	for time.Since(start) < budget || calls < 3 {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		calls++
+	}
+	return time.Since(start).Seconds() * 1e3 / float64(calls), nil
+}
+
+// cmdBench measures the Estimate hot path and the Workers=1 FindBest on
+// one deployment via both evaluation paths and writes BENCH_estimate.json.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	newCtx := commonFlags(fs)
+	modelName := fs.String("model", "OPT-13B", "model name (Table 1)")
+	clusterName := fs.String("cluster", "", "cluster (A40 or A100; default: the model's Table 2 cluster)")
+	gpus := fs.Int("gpus", 0, "GPUs to deploy on (default: the model's Table 2 count)")
+	taskID := fs.String("task", "S", "task ID (S, T, G, C1, C2, wmt, alpaca, cnn)")
+	lbound := fs.Float64("lbound", 0, "latency bound in seconds for the FindBest measurement (0 = unconstrained)")
+	budget := fs.Float64("time", 1.0, "minimum seconds per measurement")
+	out := fs.String("out", "BENCH_estimate.json", "report path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m, err := model.ByName(*modelName)
+	if err != nil {
+		return err
+	}
+	dep, err := sched.DeploymentFor(m.Name)
+	if err != nil {
+		if *clusterName == "" || *gpus == 0 {
+			return err
+		}
+	}
+	cluster := dep.Cluster
+	if *clusterName != "" {
+		if cluster, err = clusterByName(*clusterName); err != nil {
+			return err
+		}
+	}
+	nGPUs := dep.GPUs
+	if *gpus > 0 {
+		nGPUs = *gpus
+	}
+	task, err := workload.ByID(*taskID)
+	if err != nil {
+		return err
+	}
+	ctx := newCtx()
+	d, err := ctx.Deploy(m, cluster, nGPUs, task)
+	if err != nil {
+		return err
+	}
+	bound := *lbound
+	if bound <= 0 {
+		bound = math.Inf(1)
+	}
+	dur := time.Duration(*budget * float64(time.Second))
+	policies := []sched.Policy{sched.RRA, sched.WAAC, sched.WAAM}
+	fmt.Printf("bench: %s on %dx %s, task %s, bound %s, >=%.2gs per measurement\n",
+		m.Name, nGPUs, cluster.Name, task.ID, fmtSeconds(bound), *budget)
+
+	rep := BenchReport{
+		GeneratedUnix: time.Now().Unix(),
+		Model:         m.Name, Cluster: cluster.Name, GPUs: nGPUs, Task: task.ID,
+		LBound: fmtSeconds(bound), Workers: 1,
+	}
+
+	// Estimate-per-second on both paths over the same config mix.
+	cfgs := benchConfigs(nGPUs)
+	i := 0
+	rep.EstimatePerSecReference, err = measureRate(dur, func() error {
+		_, err := d.Sim.Estimate(cfgs[i%len(cfgs)])
+		i++
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	i = 0
+	rep.EstimatePerSecEvaluator, err = measureRate(dur, func() error {
+		_, err := d.Eval.Estimate(cfgs[i%len(cfgs)])
+		i++
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	rep.EstimateSpeedup = rep.EstimatePerSecEvaluator / rep.EstimatePerSecReference
+
+	// Workers=1 FindBest wall time, reference path vs memoized path.
+	s := d.Sch
+	s.Workers = 1
+	var refRes, fastRes core.Result
+	s.DisableMemo = true
+	rep.FindBestMsReference, err = measureWall(dur, func() error {
+		refRes, err = s.FindBest(policies, bound)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	s.DisableMemo = false
+	rep.FindBestMsEvaluatorCold, err = measureWall(dur, func() error {
+		s.ResetEvaluators()
+		fastRes, err = s.FindBest(policies, bound)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	rep.FindBestMsEvaluator, err = measureWall(dur, func() error {
+		fastRes, err = s.FindBest(policies, bound)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	rep.FindBestSpeedup = rep.FindBestMsReference / rep.FindBestMsEvaluator
+	rep.FindBestColdSpeedup = rep.FindBestMsReference / rep.FindBestMsEvaluatorCold
+	rep.FindBestEvals = fastRes.Evals
+	rep.BestSchedule = fastRes.Best.Config.String()
+	rep.BestTput = fastRes.Best.Throughput
+	rep.BestLatency = fastRes.Best.Latency
+	rep.BestIdentical = refRes.Found == fastRes.Found &&
+		refRes.Evals == fastRes.Evals &&
+		refRes.Best.Config == fastRes.Best.Config &&
+		math.Float64bits(refRes.Best.Throughput) == math.Float64bits(fastRes.Best.Throughput) &&
+		math.Float64bits(refRes.Best.Latency) == math.Float64bits(fastRes.Best.Latency)
+
+	fmt.Printf("estimate/s: reference %.0f, evaluator %.0f (%.1fx steady-state)\n",
+		rep.EstimatePerSecReference, rep.EstimatePerSecEvaluator, rep.EstimateSpeedup)
+	fmt.Printf("findbest:   reference %.3f ms, evaluator %.3f ms steady-state (%.1fx) / %.3f ms cold (%.1fx), %d evals\n",
+		rep.FindBestMsReference, rep.FindBestMsEvaluator, rep.FindBestSpeedup,
+		rep.FindBestMsEvaluatorCold, rep.FindBestColdSpeedup, rep.FindBestEvals)
+	fmt.Printf("best:       %s at %.2f seq/s, %.3f s latency\n",
+		rep.BestSchedule, rep.BestTput, rep.BestLatency)
+	if !rep.BestIdentical {
+		return fmt.Errorf("reference and evaluator paths disagree: ref %+v vs fast %+v",
+			refRes.Best.Config, fastRes.Best.Config)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}

@@ -9,9 +9,10 @@
 //	exegpt sweep   [flags]   grid-evaluate deployments x tasks
 //	exegpt figures [flags]   regenerate paper figures (6-11)
 //	exegpt tables  [flags]   regenerate paper tables (1-7, cost)
+//	exegpt bench   [flags]   measure the Estimate/FindBest hot paths
 //
-// Every subcommand accepts -seed, -workers, -requests and -quick; run
-// `exegpt <command> -h` for the full flag list.
+// Every subcommand accepts -seed, -workers, -requests, -quick and
+// -profile-cache; run `exegpt <command> -h` for the full flag list.
 package main
 
 import (
@@ -43,6 +44,8 @@ func main() {
 		err = cmdFigures(args)
 	case "tables":
 		err = cmdTables(args)
+	case "bench":
+		err = cmdBench(args)
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -65,6 +68,7 @@ Commands:
   sweep     grid-evaluate deployments x tasks, parallel across deployments
   figures   regenerate the paper's figures (6, 7, 8, 9, 10, 11)
   tables    regenerate the paper's tables (1-7) and the scheduling-cost study
+  bench     measure Estimate/s and FindBest wall time, write BENCH_estimate.json
 
 Run "exegpt <command> -h" for command flags.
 `)
@@ -77,6 +81,8 @@ func commonFlags(fs *flag.FlagSet) func() *experiments.Context {
 	workers := fs.Int("workers", 0, "scheduler/sweep worker count (0 = GOMAXPROCS)")
 	requests := fs.Int("requests", 0, "requests per measured run (0 = context default)")
 	quick := fs.Bool("quick", false, "shrink sweeps for fast runs")
+	profileCache := fs.String("profile-cache", "",
+		"directory for the on-disk profile.Table JSON cache, keyed by (model, GPU); empty disables")
 	return func() *experiments.Context {
 		c := experiments.NewContext()
 		if *quick {
@@ -87,6 +93,7 @@ func commonFlags(fs *flag.FlagSet) func() *experiments.Context {
 		if *requests > 0 {
 			c.Requests = *requests
 		}
+		c.ProfileCacheDir = *profileCache
 		return c
 	}
 }

@@ -1,10 +1,24 @@
 package main
 
 import (
+	"flag"
 	"testing"
 
 	"exegpt/internal/sched"
 )
+
+// commonFlags must plumb -profile-cache (and friends) into the context.
+func TestCommonFlagsPlumbContext(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	newCtx := commonFlags(fs)
+	if err := fs.Parse([]string{"-profile-cache", "/tmp/pc", "-quick", "-seed", "7", "-workers", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	c := newCtx()
+	if c.ProfileCacheDir != "/tmp/pc" || !c.Quick || c.Seed != 7 || c.Workers != 3 {
+		t.Fatalf("context not plumbed: %+v", c)
+	}
+}
 
 func TestParsePolicies(t *testing.T) {
 	rra, err := parsePolicies("rra")

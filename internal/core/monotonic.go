@@ -37,6 +37,7 @@ type SweepSpec struct {
 // than tol (relative) even though the oriented variable increased.
 func (s *Scheduler) EvaluateMonotonicity(spec SweepSpec, tol float64) (MonoReport, error) {
 	latViol, tputViol, points := 0, 0, 0
+	ev := NewEvaluator(s.Sim)
 	for _, base := range spec.Combos {
 		prevLat, prevTput := -1.0, -1.0
 		havePrev := false
@@ -56,7 +57,7 @@ func (s *Scheduler) EvaluateMonotonicity(spec SweepSpec, tol float64) (MonoRepor
 			default:
 				return MonoReport{}, fmt.Errorf("core: unknown sweep variable %q", spec.Variable)
 			}
-			est, err := s.Sim.Estimate(cfg)
+			est, err := ev.Estimate(cfg)
 			if err != nil {
 				return MonoReport{}, err
 			}

@@ -1,5 +1,5 @@
 // Tests for the parallel branch-and-bound search: determinism across
-// worker counts and the shared-lower-bound pruning contract.
+// worker counts and the deterministic seed-bound pruning contract.
 package core
 
 import (
@@ -24,10 +24,9 @@ func detScheduler(t testing.TB, workers int) *Scheduler {
 }
 
 // TestFindBestDeterministicAcrossWorkers asserts the acceptance
-// criterion: FindBest returns a byte-identical Result for worker counts
-// 1, 2 and 8 on a fixed deployment. Evals is the one field exempt from
-// the guarantee (pruning timing changes how many points are evaluated,
-// never which schedule wins), so it is normalized before comparing.
+// criterion: FindBest returns a byte-identical Result — including
+// Evals, now that pruning uses only the deterministic seed bound — for
+// worker counts 1, 2 and 8 on a fixed deployment.
 func TestFindBestDeterministicAcrossWorkers(t *testing.T) {
 	for _, bound := range []float64{8, 20, math.Inf(1)} {
 		var want Result
@@ -37,7 +36,6 @@ func TestFindBestDeterministicAcrossWorkers(t *testing.T) {
 			if err != nil {
 				t.Fatalf("workers=%d bound=%v: %v", workers, bound, err)
 			}
-			res.Evals = 0
 			if i == 0 {
 				if !res.Found && math.IsInf(bound, 1) {
 					t.Fatalf("bound=Inf: baseline search found nothing")
@@ -91,10 +89,10 @@ func TestExhaustiveDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
-// TestSharedBoundStillFindsOptimum: the shared lower bound may only
+// TestSeedBoundStillFindsOptimum: the cross-branch seed bound may only
 // prune configurations that cannot win. Compare the parallel B&B result
 // against the exhaustive optimum at several bounds.
-func TestSharedBoundStillFindsOptimum(t *testing.T) {
+func TestSeedBoundStillFindsOptimum(t *testing.T) {
 	s := detScheduler(t, 8)
 	s.MaxBatch = 128
 	for _, bound := range []float64{8, 20, math.Inf(1)} {
@@ -116,22 +114,6 @@ func TestSharedBoundStillFindsOptimum(t *testing.T) {
 			t.Fatalf("bound %v: parallel B&B tput %v far below exhaustive %v",
 				bound, bb.Best.Throughput, ex.Best.Throughput)
 		}
-	}
-}
-
-func TestTputBound(t *testing.T) {
-	var b tputBound
-	if b.Load() != 0 {
-		t.Fatal("zero value must mean no bound")
-	}
-	b.Tighten(1.5)
-	b.Tighten(0.5) // loosening is ignored
-	if got := b.Load(); got != 1.5 {
-		t.Fatalf("bound = %v, want 1.5", got)
-	}
-	b.Tighten(2.25)
-	if got := b.Load(); got != 2.25 {
-		t.Fatalf("bound = %v, want 2.25", got)
 	}
 }
 

@@ -16,8 +16,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
-	"sync/atomic"
 
 	"exegpt/internal/par"
 	"exegpt/internal/sched"
@@ -94,8 +92,8 @@ type perf struct {
 // A single search call (FindBest, MinLatency, Exhaustive) fans its
 // (policy, TP) branch-and-bound roots out to a bounded worker pool; the
 // Scheduler itself must not be shared by concurrent search calls, but
-// one search internally uses Workers goroutines, all evaluating against
-// the same (read-only) Simulator.
+// one search internally uses Workers goroutines, each probing the
+// shared read-only Simulator through its own memoized Evaluator.
 type Scheduler struct {
 	Sim *Simulator
 	// TolT and TolL are the throughput/latency tolerances of
@@ -107,11 +105,24 @@ type Scheduler struct {
 	// Workers is the number of concurrent branch workers; 0 means
 	// runtime.GOMAXPROCS(0).
 	Workers int
-	// Evals counts simulator invocations of the last search (for the
-	// §7.7 cost comparison). Under parallel FindBest the count depends
-	// on pruning timing and may vary slightly between runs; the selected
-	// schedule does not (see FindBest).
+	// Evals counts simulator invocations of the last search (the §7.7
+	// cost comparison). Probes are counted pre-prune against a
+	// deterministic seed bound, so the count is identical across worker
+	// counts and runs (see FindBest).
 	Evals int
+	// DisableMemo routes every probe through the reference
+	// Simulator.Estimate instead of the per-worker memoized Evaluators.
+	// The selected schedule is identical either way (the equivalence
+	// tests assert it); the flag exists for benchmarks comparing the
+	// paths and for debugging.
+	DisableMemo bool
+
+	// evs are the per-worker Evaluators, sized by ensureEvals at the
+	// start of each search; evs[w] is only ever touched by pool worker w
+	// (par.ForEachWorker), so no locking is needed. Memos persist across
+	// searches on the same Scheduler: everything cached is
+	// schedule-invariant for the underlying Simulator.
+	evs []*Evaluator
 }
 
 // NewScheduler returns a scheduler with the paper's default tolerances
@@ -129,9 +140,38 @@ func (s *Scheduler) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// point evaluates one configuration, counting the evaluation into the
-// caller's branch-local counter.
-func (s *Scheduler) point(policy sched.Policy, tp sched.TPSpec, axes []Axis, idx []int, evals *int) (perf, error) {
+// ensureEvals sizes the per-worker Evaluator slice for a search. Called
+// from the single-goroutine entry points before any worker runs.
+func (s *Scheduler) ensureEvals() {
+	if s.DisableMemo {
+		return
+	}
+	n := s.workers()
+	for len(s.evs) < n {
+		s.evs = append(s.evs, NewEvaluator(s.Sim))
+	}
+}
+
+// eval returns worker w's estimate path: its memoized Evaluator, or the
+// reference Simulator when DisableMemo is set.
+func (s *Scheduler) eval(w int) *Evaluator {
+	if s.DisableMemo {
+		return nil
+	}
+	return s.evs[w]
+}
+
+// ResetEvaluators drops the per-worker Evaluators and their memos so
+// the next search starts cold. Benchmarks use it to separate cold-start
+// from steady-state search cost; normal callers never need it (memos
+// hold only schedule-invariant state, so staying warm is always
+// correct).
+func (s *Scheduler) ResetEvaluators() { s.evs = nil }
+
+// point evaluates one configuration on ev (nil means the reference
+// Simulator path), counting the evaluation into the caller's
+// branch-local counter.
+func (s *Scheduler) point(ev *Evaluator, policy sched.Policy, tp sched.TPSpec, axes []Axis, idx []int, evals *int) (perf, error) {
 	cfg := sched.Config{Policy: policy, TP: tp, BE: 1, BD: 1, Bm: 1, ND: 1}
 	for d, a := range axes {
 		v := a.Values[idx[d]]
@@ -149,7 +189,13 @@ func (s *Scheduler) point(policy sched.Policy, tp sched.TPSpec, axes []Axis, idx
 		}
 	}
 	*evals++
-	est, err := s.Sim.Estimate(cfg)
+	var est Estimate
+	var err error
+	if ev != nil {
+		est, err = ev.Estimate(cfg)
+	} else {
+		est, err = s.Sim.Estimate(cfg)
+	}
 	if err != nil {
 		return perf{}, err
 	}
@@ -202,37 +248,11 @@ func (b block) widestDim() int {
 type Result struct {
 	Best  Estimate
 	Found bool
-	// Evals is the total simulator invocations across all branches.
-	// Under parallel FindBest it can vary between runs (tighter shared
-	// bounds prune more when other branches finish early); Best and
-	// Found are deterministic regardless.
+	// Evals is the total simulator invocations across all branches. All
+	// pruning information is deterministic (the seed bound comes from a
+	// fixed corner-probe phase, everything else is branch-local), so
+	// Evals is identical across runs and worker counts.
 	Evals int
-}
-
-// tputBound is the throughput lower bound shared across branch workers:
-// the best feasible, bound-satisfying throughput seen anywhere so far.
-// Every worker tightens it as results land, so pruning in one branch
-// benefits from discoveries in all others. Throughputs are nonnegative,
-// so the zero value (0.0) means "no bound yet".
-type tputBound struct {
-	bits atomic.Uint64
-}
-
-func (b *tputBound) Load() float64 {
-	return math.Float64frombits(b.bits.Load())
-}
-
-// Tighten raises the bound to t if t is an improvement.
-func (b *tputBound) Tighten(t float64) {
-	for {
-		old := b.bits.Load()
-		if math.Float64frombits(old) >= t {
-			return
-		}
-		if b.bits.CompareAndSwap(old, math.Float64bits(t)) {
-			return
-		}
-	}
 }
 
 // configLess is a canonical total order on configurations, used to
@@ -293,10 +313,11 @@ func (s *Scheduler) branches(policies []sched.Policy) []branch {
 	return out
 }
 
-// forEachBranch runs fn(i) for every branch index on the worker pool.
-// fn must only write to per-index state.
-func (s *Scheduler) forEachBranch(n int, fn func(int)) {
-	par.ForEach(n, s.workers(), fn)
+// forEachBranch runs fn(worker, i) for every branch index on the
+// worker pool. fn must only write to per-index state and to the
+// per-worker state slot it is handed.
+func (s *Scheduler) forEachBranch(n int, fn func(worker, i int)) {
+	par.ForEachWorker(n, s.workers(), fn)
 }
 
 // branchOutcome is the per-branch search result, reduced canonically
@@ -308,13 +329,32 @@ type branchOutcome struct {
 	err   error
 }
 
+// branchCorners carries the phase-1 evaluations of a branch's initial
+// block corners into bbSearch, so phase 2 does not re-evaluate them.
+type branchCorners struct {
+	top, bottom perf
+}
+
+// seedTput returns the strongest feasible, bound-satisfying corner
+// throughput this branch proves, or (0, false).
+func (c branchCorners) seedTput(lbound float64) (float64, bool) {
+	t, ok := 0.0, false
+	for _, p := range []perf{c.top, c.bottom} {
+		if p.est.Feasible && p.lat < lbound && p.tput > t {
+			t, ok = p.tput, true
+		}
+	}
+	return t, ok
+}
+
 // bbSearch runs Algorithm 1 over the axes for one (policy, TP) choice.
-// shared is the cross-branch throughput lower bound: it only ever
+// seed is the deterministic cross-branch throughput lower bound derived
+// from every branch's corner probes (FindBest phase 1): it only ever
 // tightens pruning, and — under the monotone-corner assumption (see
 // FindBest) — it can never prune a point whose throughput reaches the
-// global optimum, so the reduced result is independent of how far
-// other branches have progressed (only Evals varies).
-func (s *Scheduler) bbSearch(policy sched.Policy, tp sched.TPSpec, axes []Axis, lbound float64, shared *tputBound, evals *int) (Estimate, bool, error) {
+// global optimum. Because the seed is fixed before any branch expands a
+// block, the whole search (including Evals) is deterministic.
+func (s *Scheduler) bbSearch(ev *Evaluator, policy sched.Policy, tp sched.TPSpec, axes []Axis, lbound, seed float64, c branchCorners, evals *int) (Estimate, bool, error) {
 	lo := make([]int, len(axes))
 	hi := make([]int, len(axes))
 	for d, a := range axes {
@@ -325,26 +365,26 @@ func (s *Scheduler) bbSearch(policy sched.Policy, tp sched.TPSpec, axes []Axis, 
 		epsL = 0
 	}
 
-	// Line 1-3: initial block; if the top corner satisfies the
-	// constraint it is optimal.
-	top, err := s.point(policy, tp, axes, hi, evals)
-	if err != nil {
-		return Estimate{}, false, err
-	}
+	// Line 1-3: initial block (corners pre-evaluated in phase 1); if
+	// the top corner satisfies the constraint it is optimal.
+	top, bottom := c.top, c.bottom
 	if top.lat < lbound && top.est.Feasible {
-		shared.Tighten(top.tput)
 		return top.est, true, nil
 	}
-	bottom, err := s.point(policy, tp, axes, lo, evals)
-	if err != nil {
-		return Estimate{}, false, err
-	}
+
+	// bound is the branch's throughput lower bound: the deterministic
+	// cross-branch seed, tightened by every feasible bound-satisfying
+	// point this branch evaluates. Throughputs are nonnegative, so 0
+	// means "no bound yet".
+	bound := seed
 
 	var best Estimate
 	found := false
 	consider := func(p perf) {
 		if p.est.Feasible && p.lat < lbound {
-			shared.Tighten(p.tput)
+			if p.tput > bound {
+				bound = p.tput
+			}
 			if !found || better(p.est, best) {
 				best = p.est
 				found = true
@@ -355,22 +395,31 @@ func (s *Scheduler) bbSearch(policy sched.Policy, tp sched.TPSpec, axes []Axis, 
 	consider(top)
 
 	// canBeat reports whether a block with throughput upper bound upp
-	// could still improve on the shared incumbent T* (within the TolT
-	// tolerance, Line 18). The shared bound includes this branch's own
-	// contributions, so it is always at least as tight as a local best.
+	// could still improve on the incumbent T* (within the TolT
+	// tolerance, Line 18).
 	canBeat := func(upp float64) bool {
-		lb := shared.Load()
-		return lb == 0 || upp+s.TolT*lb >= lb
+		return bound == 0 || upp+s.TolT*bound >= bound
 	}
 
 	b0 := block{lo: lo, hi: hi, upp: top, lowr: bottom}
 	queue := []block{b0}
 
 	for len(queue) > 0 {
-		// Line 6: pop the block with the max upper bound.
-		sort.Slice(queue, func(i, j int) bool { return queue[i].upperTput() > queue[j].upperTput() })
-		b := queue[0]
-		queue = queue[1:]
+		// Line 6: pop the block with the max upper bound. A linear scan
+		// beats keeping the queue sorted: every pop is O(q) with no
+		// comparator closures, and the queue mutates on every iteration
+		// anyway. Ties break by current queue position (swap-with-last
+		// removal reorders it), which is deterministic for a given probe
+		// history — the only property the search relies on.
+		bi := 0
+		for k := 1; k < len(queue); k++ {
+			if queue[k].upperTput() > queue[bi].upperTput() {
+				bi = k
+			}
+		}
+		b := queue[bi]
+		queue[bi] = queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
 		// Line 18 pruning (lazy): drop blocks that cannot beat T*.
 		if !canBeat(b.upperTput()) {
 			continue
@@ -387,11 +436,11 @@ func (s *Scheduler) bbSearch(policy sched.Policy, tp sched.TPSpec, axes []Axis, 
 		if d2 := secondWidest(b, dim); d2 >= 0 {
 			tl := cornerSwap(b, dim) // low in dim, high elsewhere
 			br := cornerSwap(b, d2)  // low in d2, high elsewhere
-			ptl, err := s.point(policy, tp, axes, tl, evals)
+			ptl, err := s.point(ev, policy, tp, axes, tl, evals)
 			if err != nil {
 				return Estimate{}, false, err
 			}
-			pbr, err := s.point(policy, tp, axes, br, evals)
+			pbr, err := s.point(ev, policy, tp, axes, br, evals)
 			if err != nil {
 				return Estimate{}, false, err
 			}
@@ -407,11 +456,11 @@ func (s *Scheduler) bbSearch(policy sched.Policy, tp sched.TPSpec, axes []Axis, 
 
 		mid := (b.lo[dim] + b.hi[dim]) / 2
 		for _, half := range splitAt(b, dim, mid) {
-			upp, err := s.point(policy, tp, axes, half.hi, evals)
+			upp, err := s.point(ev, policy, tp, axes, half.hi, evals)
 			if err != nil {
 				return Estimate{}, false, err
 			}
-			lowr, err := s.point(policy, tp, axes, half.lo, evals)
+			lowr, err := s.point(ev, policy, tp, axes, half.lo, evals)
 			if err != nil {
 				return Estimate{}, false, err
 			}
@@ -499,27 +548,60 @@ func (s *Scheduler) axesFor(policy sched.Policy) []Axis {
 // FindBest runs Algorithm 1 for every policy in policies and every TP
 // choice and returns the highest-throughput schedule satisfying lbound.
 //
-// Branches run concurrently on the worker pool; the shared throughput
-// lower bound tightens pruning globally as branch results land. The
-// selected schedule is deterministic across worker counts as long as a
-// block's top-corner throughput upper-bounds its interior (the §4.2
+// The search runs in two deterministic phases on the worker pool.
+// Phase 1 evaluates every branch's initial block corners — a fixed set
+// — and derives the seed throughput lower bound: the best feasible,
+// bound-satisfying corner anywhere. Phase 2 runs each branch's
+// branch-and-bound with that seed, tightened only by the branch's own
+// discoveries. No timing-dependent information flows between branches,
+// so the whole Result — including Evals — is identical across worker
+// counts and runs.
+//
+// The selected schedule is the grid optimum as long as a block's
+// top-corner throughput upper-bounds its interior (the §4.2
 // monotonicity that Algorithm 1 assumes, with TolT absorbing small
 // violations — Table 5 measures how well it holds): then pruning can
 // only discard points strictly below the optimum, the grid-point
 // corners at or above it are always evaluated, and the reduction walks
 // branches in canonical order with a total-order tie-break (better).
-// Where the simulator is non-monotone beyond TolT, a timing-dependent
-// shared bound could prune an interior point a sequential run keeps —
-// the same point Algorithm 1 itself already risks missing. Evals
-// always varies with pruning timing.
 func (s *Scheduler) FindBest(policies []sched.Policy, lbound float64) (Result, error) {
 	jobs := s.branches(policies)
-	shared := &tputBound{}
+	s.ensureEvals()
 	outs := make([]branchOutcome, len(jobs))
-	s.forEachBranch(len(jobs), func(i int) {
+
+	// Phase 1: probe every branch's block corners; the probes are a
+	// fixed set, so the derived seed bound is deterministic.
+	corners := make([]branchCorners, len(jobs))
+	s.forEachBranch(len(jobs), func(w, i int) {
 		j := jobs[i]
 		o := &outs[i]
-		o.est, o.found, o.err = s.bbSearch(j.policy, j.tp, s.axesFor(j.policy), lbound, shared, &o.evals)
+		axes := s.axesFor(j.policy)
+		lo := make([]int, len(axes))
+		hi := make([]int, len(axes))
+		for d, a := range axes {
+			hi[d] = a.Size() - 1
+		}
+		ev := s.eval(w)
+		corners[i].top, o.err = s.point(ev, j.policy, j.tp, axes, hi, &o.evals)
+		if o.err == nil {
+			corners[i].bottom, o.err = s.point(ev, j.policy, j.tp, axes, lo, &o.evals)
+		}
+	})
+	seed := 0.0
+	for i := range jobs {
+		if outs[i].err != nil {
+			return Result{}, outs[i].err
+		}
+		if t, ok := corners[i].seedTput(lbound); ok && t > seed {
+			seed = t
+		}
+	}
+
+	// Phase 2: branch-and-bound per branch under the shared seed.
+	s.forEachBranch(len(jobs), func(w, i int) {
+		j := jobs[i]
+		o := &outs[i]
+		o.est, o.found, o.err = s.bbSearch(s.eval(w), j.policy, j.tp, s.axesFor(j.policy), lbound, seed, corners[i], &o.evals)
 	})
 	return s.reduce(outs)
 }
@@ -545,11 +627,11 @@ func (s *Scheduler) reduce(outs []branchOutcome) (Result, error) {
 }
 
 // scanGrid walks a branch's full grid, invoking visit on every point.
-func (s *Scheduler) scanGrid(j branch, evals *int, visit func(perf)) error {
+func (s *Scheduler) scanGrid(ev *Evaluator, j branch, evals *int, visit func(perf)) error {
 	axes := s.axesFor(j.policy)
 	idx := make([]int, len(axes))
 	for {
-		p, err := s.point(j.policy, j.tp, axes, idx, evals)
+		p, err := s.point(ev, j.policy, j.tp, axes, idx, evals)
 		if err != nil {
 			return err
 		}
@@ -577,16 +659,17 @@ func (s *Scheduler) scanGrid(j branch, evals *int, visit func(perf)) error {
 // both the minimum and Evals are deterministic.
 func (s *Scheduler) MinLatency(policies []sched.Policy) (float64, error) {
 	jobs := s.branches(policies)
+	s.ensureEvals()
 	type minOutcome struct {
 		min   float64
 		evals int
 		err   error
 	}
 	outs := make([]minOutcome, len(jobs))
-	s.forEachBranch(len(jobs), func(i int) {
+	s.forEachBranch(len(jobs), func(w, i int) {
 		o := &outs[i]
 		o.min = math.Inf(1)
-		o.err = s.scanGrid(jobs[i], &o.evals, func(p perf) {
+		o.err = s.scanGrid(s.eval(w), jobs[i], &o.evals, func(p perf) {
 			if p.est.Feasible && p.lat < o.min {
 				o.min = p.lat
 			}
@@ -613,10 +696,11 @@ func (s *Scheduler) MinLatency(policies []sched.Policy) (float64, error) {
 // no pruning is applied, so Evals is the full deterministic grid size.
 func (s *Scheduler) Exhaustive(policies []sched.Policy, lbound float64) (Result, error) {
 	jobs := s.branches(policies)
+	s.ensureEvals()
 	outs := make([]branchOutcome, len(jobs))
-	s.forEachBranch(len(jobs), func(i int) {
+	s.forEachBranch(len(jobs), func(w, i int) {
 		o := &outs[i]
-		o.err = s.scanGrid(jobs[i], &o.evals, func(p perf) {
+		o.err = s.scanGrid(s.eval(w), jobs[i], &o.evals, func(p perf) {
 			if p.est.Feasible && p.lat < lbound && (!o.found || better(p.est, o.est)) {
 				o.est = p.est
 				o.found = true

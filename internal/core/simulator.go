@@ -26,6 +26,10 @@ const MemReserve = 0.05
 // Simulator is XSimulator: it constructs execution timelines for
 // candidate schedules from profiled layer times and the input/output
 // sequence-length distributions.
+//
+// Simulator.Estimate is the reference evaluation path; the Evaluator
+// type wraps a Simulator with memoization and scratch reuse for the
+// scheduler's hot loop and is asserted bit-identical to it.
 type Simulator struct {
 	Model   model.Model
 	Cluster hw.Cluster // the deployment sub-cluster
@@ -34,6 +38,16 @@ type Simulator struct {
 	// LatencyPctl is the output-length percentile the latency estimate
 	// targets; the paper uses the 99th percentile sequence (§7.1).
 	LatencyPctl float64
+
+	// Schedule-invariant scalars hoisted at construction so the
+	// Estimate hot path never rescans the O(Max) distributions.
+	inMean, outMean float64
+	inMeanRounded   int     // int(round(inMean)), the per-query prompt tokens
+	ctxMean         float64 // meanCtx()
+	steadyKV        float64 // steadyKVTokensPerQuery()
+	s99             int     // Out.Percentile(s99Pctl)
+	s99Pctl         float64 // the percentile s99 was computed at
+	capBytes        int64   // capacity()
 }
 
 // NewSimulator validates inputs and returns a simulator.
@@ -53,7 +67,21 @@ func NewSimulator(m model.Model, cluster hw.Cluster, tab *profile.Table, in, out
 	if in == nil || out == nil {
 		return nil, fmt.Errorf("core: nil sequence distribution")
 	}
-	return &Simulator{Model: m, Cluster: cluster, Profile: tab, In: in, Out: out, LatencyPctl: 0.99}, nil
+	s := &Simulator{Model: m, Cluster: cluster, Profile: tab, In: in, Out: out, LatencyPctl: 0.99}
+	s.inMean = in.Mean()
+	s.outMean = out.Mean()
+	s.inMeanRounded = int(math.Round(s.inMean))
+	pos := out.MeanActivePosition()
+	// Mean self(+cross) attention context of an active decode slot in
+	// steady state: prompt (or cross) context plus generated-so-far.
+	s.ctxMean = s.inMean + pos + 1
+	// Mean cached tokens an active query holds (prompt for decoder-only
+	// or cross cache for enc-dec, plus generated-so-far).
+	s.steadyKV = s.inMean + pos + 1
+	s.s99Pctl = s.LatencyPctl
+	s.s99 = out.Percentile(s.s99Pctl)
+	s.capBytes = int64(float64(cluster.GPU.MemoryBytes) * (1 - MemReserve))
+	return s, nil
 }
 
 // Estimate is the simulated outcome of one schedule.
@@ -171,20 +199,23 @@ func traversal(stageTimes []float64) float64 {
 }
 
 // meanCtx returns the mean self(+cross) attention context of an active
-// decode slot in steady state.
-func (s *Simulator) meanCtx() float64 {
-	pos := s.Out.MeanActivePosition()
-	if s.Model.DecoderOnly() {
-		return s.In.Mean() + pos + 1
-	}
-	return s.In.Mean() + pos + 1 // cross context (input) + self context
-}
+// decode slot in steady state, precomputed at construction.
+func (s *Simulator) meanCtx() float64 { return s.ctxMean }
 
 // steadyKVTokensPerQuery returns the mean cached tokens an active query
 // holds (prompt for decoder-only or cross cache for enc-dec, plus
-// generated-so-far).
-func (s *Simulator) steadyKVTokensPerQuery() float64 {
-	return s.In.Mean() + s.Out.MeanActivePosition() + 1
+// generated-so-far), precomputed at construction.
+func (s *Simulator) steadyKVTokensPerQuery() float64 { return s.steadyKV }
+
+// pctlLen returns the LatencyPctl output length, served from the
+// construction-time cache when the percentile is unchanged (callers may
+// still adjust LatencyPctl after construction; that path recomputes
+// without mutating the shared Simulator).
+func (s *Simulator) pctlLen() float64 {
+	if s.LatencyPctl == s.s99Pctl {
+		return float64(s.s99)
+	}
+	return float64(s.Out.Percentile(s.LatencyPctl))
 }
 
 // kvBytes returns the KV bytes for tokens cached tokens across layers
@@ -194,10 +225,9 @@ func (s *Simulator) kvBytes(tokens float64, layers, tp int) int64 {
 	return int64(tokens * perLayer * float64(layers) / float64(tp) * KVMemMargin)
 }
 
-// capacity returns the per-GPU usable memory.
-func (s *Simulator) capacity() int64 {
-	return int64(float64(s.Cluster.GPU.MemoryBytes) * (1 - MemReserve))
-}
+// capacity returns the per-GPU usable memory, precomputed at
+// construction.
+func (s *Simulator) capacity() int64 { return s.capBytes }
 
 // Estimate simulates the timeline of cfg and returns throughput/latency.
 func (s *Simulator) Estimate(cfg sched.Config) (Estimate, error) {
@@ -239,14 +269,14 @@ func (s *Simulator) estimateRRA(cfg sched.Config) (Estimate, error) {
 
 	// Encoding phase: the BE batch traverses all stages as
 	// rraMicroBatches interleaved mini-batches (Figure 4(a)).
-	encTokens := be * int(math.Round(s.In.Mean()))
+	encTokens := be * s.inMeanRounded
 	microTokens := encTokens / rraMicroBatches
 	if microTokens < 1 {
 		microTokens = 1
 	}
 	encTimes := make([]float64, len(alloc.Stages))
 	for i, st := range alloc.Stages {
-		encTimes[i], err = s.encStageTime(st, microTokens, s.In.Mean())
+		encTimes[i], err = s.encStageTime(st, microTokens, s.inMean)
 		if err != nil {
 			return Estimate{}, err
 		}
@@ -304,7 +334,7 @@ func (s *Simulator) estimateRRA(cfg sched.Config) (Estimate, error) {
 	// iterations (§4.1). The expected phase count S99/ND (a query joins
 	// a cycle at a uniformly random offset) keeps Latency smooth and
 	// strictly monotone in the encoding frequency.
-	s99 := float64(s.Out.Percentile(s.LatencyPctl))
+	s99 := s.pctlLen()
 	avgIter := decTotal / float64(cfg.ND)
 	latency := encPhase*(1+s99/float64(cfg.ND)) + s99*avgIter
 
@@ -316,53 +346,72 @@ func (s *Simulator) estimateRRA(cfg sched.Config) (Estimate, error) {
 	}, nil
 }
 
+// waaProbe holds the schedule-invariant single-GPU cost and memory
+// probes of §4.1 that drive every WAA encoder/decoder split.
+type waaProbe struct {
+	ce, cd                                  float64
+	encCopy, decCopy, kvTotal, encTransient int64
+}
+
+// waaCostProbe estimates CE and CD on single GPUs to drive the WAA
+// split (§4.1: the workload shapes the stage times used for
+// allocation), plus the memory estimates WAA-M balances. The probe
+// batch is fixed so that the derived allocation — and therefore the
+// throughput/latency surfaces — stay stable along the B_E search axis,
+// preserving the monotonicity Algorithm 1 exploits (§5.1). Both the
+// reference path and the Evaluator consume this one helper, so the two
+// cannot drift apart.
+func (s *Simulator) waaCostProbe() (waaProbe, error) {
+	const probeBE = 8
+	probeEncTokens := probeBE * s.inMeanRounded
+	probeBD := int(math.Round(probeBE * s.outMean))
+	encLayers := s.Model.EncLayers
+	if s.Model.DecoderOnly() {
+		encLayers = s.Model.DecLayers
+	}
+	var p waaProbe
+	encLayer, err := s.Profile.EncodeLayer(probeEncTokens, s.inMean, 1, profile.IntraNode)
+	if err != nil {
+		return waaProbe{}, err
+	}
+	p.ce = float64(encLayers) * encLayer
+	decLayer, err := s.Profile.DecodeLayer(probeBD, s.ctxMean, 1, profile.IntraNode)
+	if err != nil {
+		return waaProbe{}, err
+	}
+	p.cd = float64(s.Model.DecLayers) * decLayer
+
+	// Memory estimates for WAA-M, also at the probe batch.
+	p.encCopy = int64(encLayers) * s.Model.DecLayerBytes()
+	if !s.Model.DecoderOnly() {
+		p.encCopy = int64(encLayers) * s.Model.EncLayerBytes()
+	}
+	p.decCopy = int64(s.Model.DecLayers) * s.Model.DecLayerBytes()
+	p.kvTotal = s.kvBytes(s.steadyKV*float64(probeBD), s.Model.DecLayers, 1)
+	p.encTransient = int64(2*probeEncTokens) * s.Model.KVBytesPerToken() // double-buffered prefill KV
+	return p, nil
+}
+
 // estimateWAA simulates the WAA schedule: dedicated encoder and decoder
 // pipelines running asynchronously (§4.1, §6).
 func (s *Simulator) estimateWAA(cfg sched.Config) (Estimate, error) {
 	be := cfg.BE
-	meanOut := s.Out.Mean()
-	bd := int(math.Round(float64(be) * meanOut))
+	bd := int(math.Round(float64(be) * s.outMean))
 	if bd < 1 {
 		bd = 1
 	}
 	cfg.BD = bd
 	n := s.Cluster.TotalGPUs()
 
-	// Estimate CE and CD on single GPUs to drive the split (§4.1: the
-	// workload shapes the stage times used for allocation). The probe
-	// batch is fixed so that the derived allocation — and therefore the
-	// throughput/latency surfaces — stay stable along the B_E search
-	// axis, preserving the monotonicity Algorithm 1 exploits (§5.1).
-	const probeBE = 8
-	encTokens := be * int(math.Round(s.In.Mean()))
-	probeEncTokens := probeBE * int(math.Round(s.In.Mean()))
-	probeBD := int(math.Round(probeBE * meanOut))
-	encLayers := s.Model.EncLayers
-	if s.Model.DecoderOnly() {
-		encLayers = s.Model.DecLayers
-	}
-	encLayer, err := s.Profile.EncodeLayer(probeEncTokens, s.In.Mean(), 1, profile.IntraNode)
+	p, err := s.waaCostProbe()
 	if err != nil {
 		return Estimate{}, err
 	}
-	ce := float64(encLayers) * encLayer
+	encTokens := be * s.inMeanRounded
 	ctx := s.meanCtx()
-	decLayer, err := s.Profile.DecodeLayer(probeBD, ctx, 1, profile.IntraNode)
-	if err != nil {
-		return Estimate{}, err
-	}
-	cd := float64(s.Model.DecLayers) * decLayer
 
-	// Memory estimates for WAA-M, also at the probe batch.
-	encCopy := int64(encLayers) * s.Model.DecLayerBytes()
-	if !s.Model.DecoderOnly() {
-		encCopy = int64(encLayers) * s.Model.EncLayerBytes()
-	}
-	decCopy := int64(s.Model.DecLayers) * s.Model.DecLayerBytes()
-	kvTotal := s.kvBytes(s.steadyKVTokensPerQuery()*float64(probeBD), s.Model.DecLayers, 1)
-	encTransient := int64(2*probeEncTokens) * s.Model.KVBytesPerToken() // double-buffered prefill KV
-
-	encGPUs, decGPUs, err := sched.WAASplit(n, cfg.Policy, ce, cd, encCopy+encTransient, decCopy+kvTotal)
+	encGPUs, decGPUs, err := sched.WAASplit(n, cfg.Policy, p.ce, p.cd,
+		p.encCopy+p.encTransient, p.decCopy+p.kvTotal)
 	if err != nil {
 		return infeasible(cfg, err.Error()), nil
 	}
@@ -375,7 +424,7 @@ func (s *Simulator) estimateWAA(cfg sched.Config) (Estimate, error) {
 	encStages := alloc.EncStages()
 	encTimes := make([]float64, len(encStages))
 	for i, st := range encStages {
-		encTimes[i], err = s.encStageTime(st, encTokens, s.In.Mean())
+		encTimes[i], err = s.encStageTime(st, encTokens, s.inMean)
 		if err != nil {
 			return Estimate{}, err
 		}
@@ -422,7 +471,7 @@ func (s *Simulator) estimateWAA(cfg sched.Config) (Estimate, error) {
 	var peakEnc, peakDec int64
 	for _, st := range encStages {
 		mem := sched.WeightBytesPerGPU(s.Model, st) +
-			int64(2*encTokens)*s.Model.KVBytesPerTokenLayer()*int64(maxInt(st.EncLayers, 1))
+			int64(2*encTokens)*s.Model.KVBytesPerTokenLayer()*int64(max(st.EncLayers, 1))
 		if mem > peakEnc {
 			peakEnc = mem
 		}
@@ -445,7 +494,7 @@ func (s *Simulator) estimateWAA(cfg sched.Config) (Estimate, error) {
 
 	// Latency: encode traversal + KV handover + S99 decode iterations
 	// (token period), §4.1/§6 including buffer for dynamic adjustment.
-	s99 := float64(s.Out.Percentile(s.LatencyPctl))
+	s99 := s.pctlLen()
 	latency := encTraversal + kvXfer + (s99-1)*period + decTraversal
 	latency *= 1.05 // §6: buffer time for dynamic adjustments
 
@@ -455,11 +504,4 @@ func (s *Simulator) estimateWAA(cfg sched.Config) (Estimate, error) {
 		EncTime: encTraversal, DecIterTime: decIter, CycleTime: period,
 		PeakEncMem: peakEnc, PeakDecMem: peakDec,
 	}, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

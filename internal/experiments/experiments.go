@@ -7,6 +7,8 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 
@@ -34,6 +36,13 @@ type Context struct {
 	// Workers sizes the scheduler worker pool of every deployment built
 	// through Deploy; 0 means runtime.GOMAXPROCS(0).
 	Workers int
+	// ProfileCacheDir, when non-empty, persists profile Tables as JSON
+	// keyed by (model, GPU, GPUs-per-node) in that directory: runs load
+	// matching tables instead of re-profiling and save fresh ones for
+	// the next process (the in-memory memo still deduplicates within a
+	// run). Corrupt or mismatched cache files are re-profiled and
+	// overwritten.
+	ProfileCacheDir string
 
 	mu       sync.Mutex
 	profiles map[string]*profileEntry
@@ -59,9 +68,10 @@ func NewQuickContext() *Context {
 }
 
 // Deployment bundles everything needed to evaluate one (model, cluster,
-// task) combination. Each Deployment owns its Simulator, Scheduler and
-// runner Engine, so separate Deployments can be driven concurrently;
-// the profile Table may be shared between them but is immutable.
+// task) combination. Each Deployment owns its Simulator, Scheduler,
+// Evaluator and runner Engine, so separate Deployments can be driven
+// concurrently; the profile Table may be shared between them but is
+// immutable.
 type Deployment struct {
 	Model   model.Model
 	Cluster hw.Cluster
@@ -70,10 +80,53 @@ type Deployment struct {
 	In, Out *seqdist.Dist
 	Sim     *core.Simulator
 	Sch     *core.Scheduler
-	Run     *runner.Engine
+	// Eval is the deployment's memoized estimate fast path for direct
+	// Estimate calls outside the Scheduler (which keeps its own
+	// per-worker Evaluators). Like the Deployment itself it must be
+	// driven by one goroutine at a time.
+	Eval *core.Evaluator
+	Run  *runner.Engine
 }
 
-// profileFor memoizes profiling per (model, sub-cluster).
+// profileCachePath returns the on-disk cache file for a profile key, or
+// "" when caching is off. The key folds in everything Profiler.Run
+// depends on: model, GPU type, and the node shape that fixes the
+// profiled TP degrees and link fits.
+func (c *Context) profileCachePath(m model.Model, sub hw.Cluster) string {
+	if c.ProfileCacheDir == "" {
+		return ""
+	}
+	name := fmt.Sprintf("profile_%s_%s_%s_%dpn.json",
+		m.Name, sub.GPU.Name, sub.Name, sub.GPUsPerNode)
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			return r
+		}
+		return '-'
+	}, name)
+	return filepath.Join(c.ProfileCacheDir, clean)
+}
+
+// loadCachedProfile returns a valid cached table for the key or nil
+// (missing, corrupt, describing a different model/GPU, or profiled by
+// an older table schema — all treated as cache misses).
+func loadCachedProfile(path string, m model.Model, sub hw.Cluster) *profile.Table {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	tab, err := profile.Decode(data)
+	if err != nil || tab.Version != profile.TableVersion ||
+		tab.ModelName != m.Name || tab.GPUName != sub.GPU.Name {
+		return nil
+	}
+	return tab
+}
+
+// profileFor memoizes profiling per (model, sub-cluster), backed by the
+// optional on-disk cache.
 func (c *Context) profileFor(m model.Model, sub hw.Cluster) (*profile.Table, error) {
 	key := m.Name + "/" + sub.Name + "/" + fmt.Sprint(sub.TotalGPUs())
 	c.mu.Lock()
@@ -87,14 +140,40 @@ func (c *Context) profileFor(m model.Model, sub hw.Cluster) (*profile.Table, err
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
+		cachePath := c.profileCachePath(m, sub)
+		if cachePath != "" {
+			if tab := loadCachedProfile(cachePath, m, sub); tab != nil {
+				e.tab = tab
+				return
+			}
+		}
 		p, err := profile.New(m, sub)
 		if err != nil {
 			e.err = err
 			return
 		}
 		e.tab = p.Run()
+		if cachePath != "" {
+			// Best-effort: a failed cache write (read-only dir, disk
+			// full) must not fail the run — the table in hand is valid.
+			if err := saveProfile(cachePath, e.tab); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: profile cache save skipped: %v\n", err)
+			}
+		}
 	})
 	return e.tab, e.err
+}
+
+// saveProfile writes a freshly profiled table to the cache.
+func saveProfile(path string, tab *profile.Table) error {
+	data, err := tab.Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // Deploy sets up a deployment for a model on gpus of cluster running
@@ -128,7 +207,8 @@ func (c *Context) Deploy(m model.Model, cluster hw.Cluster, gpus int, task workl
 	}
 	return &Deployment{
 		Model: m, Cluster: sub, Prof: prof, Task: task,
-		In: in, Out: out, Sim: sim, Sch: sch, Run: run,
+		In: in, Out: out, Sim: sim, Sch: sch,
+		Eval: core.NewEvaluator(sim), Run: run,
 	}, nil
 }
 

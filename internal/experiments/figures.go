@@ -250,7 +250,7 @@ func (c *Context) Figure9() ([]MemoryCell, error) {
 			if err != nil {
 				return nil, err
 			}
-			ftRes, err := ft.Run(maxInt(b, 4), reqs, d.Task.Out.Max)
+			ftRes, err := ft.Run(max(b, 4), reqs, d.Task.Out.Max)
 			if err != nil {
 				return nil, err
 			}
@@ -283,7 +283,7 @@ func (c *Context) Figure9() ([]MemoryCell, error) {
 // ftWeightBytes returns the weight bytes on FT's most loaded GPU: all
 // layers sharded over TP within the node and PP across nodes.
 func ftWeightBytes(d *Deployment) int64 {
-	tp := minInt(d.Cluster.GPUsPerNode, d.Cluster.TotalGPUs())
+	tp := min(d.Cluster.GPUsPerNode, d.Cluster.TotalGPUs())
 	pp := d.Cluster.TotalGPUs() / tp
 	layers := (d.Model.TotalLayers() + pp - 1) / pp
 	return int64(layers) * d.Model.DecLayerBytes() / int64(tp)
@@ -538,18 +538,4 @@ func shiftedRequests(c *Context, task workload.Task, out *seqdist.Dist) ([]workl
 		reqs[i] = workload.Request{ID: i, InLen: x, OutLen: y}
 	}
 	return reqs, nil
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

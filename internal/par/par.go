@@ -14,6 +14,16 @@ import (
 // write to per-index state; ForEach returns after every call finishes.
 // With an effective worker count of one it runs inline, in order.
 func ForEach(n, workers int, fn func(int)) {
+	ForEachWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach with the executing pool slot exposed: fn
+// receives (worker, i) where worker in [0, effective workers) is stable
+// for the lifetime of one goroutine. Callers use it to maintain
+// per-worker scratch state (e.g. core's per-worker Evaluators) without
+// locking: state indexed by worker is only ever touched by one
+// goroutine at a time.
+func ForEachWorker(n, workers int, fn func(worker, i int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -22,7 +32,7 @@ func ForEach(n, workers int, fn func(int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -30,12 +40,12 @@ func ForEach(n, workers int, fn func(int)) {
 	var wg sync.WaitGroup
 	for k := 0; k < workers; k++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range idx {
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(k)
 	}
 	for i := 0; i < n; i++ {
 		idx <- i

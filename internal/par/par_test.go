@@ -31,3 +31,46 @@ func TestForEachSequentialIsInOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestForEachWorkerIDs: every index runs exactly once, worker ids stay
+// in [0, workers), and per-worker state needs no locking (each slot is
+// only touched by its own goroutine).
+func TestForEachWorkerIDs(t *testing.T) {
+	const n = 53
+	for _, workers := range []int{1, 4, 64} {
+		var hits [n]atomic.Int32
+		var bad atomic.Int32
+		perWorker := make([]int, workers) // written without synchronization
+		ForEachWorker(n, workers, func(w, i int) {
+			if w < 0 || w >= workers {
+				bad.Add(1)
+			} else {
+				perWorker[w]++
+			}
+			hits[i].Add(1)
+		})
+		if bad.Load() != 0 {
+			t.Fatalf("workers=%d: worker id out of range", workers)
+		}
+		total := 0
+		for _, c := range perWorker {
+			total += c
+		}
+		if total != n {
+			t.Fatalf("workers=%d: per-worker counts sum to %d, want %d", workers, total, n)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachWorkerSequentialUsesWorkerZero(t *testing.T) {
+	ForEachWorker(4, 1, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("sequential run must use worker 0, got %d", w)
+		}
+	})
+}

@@ -57,7 +57,16 @@ func (c AlphaBeta) Time(n int64) float64 {
 // the grids, so one Table may be shared freely between concurrent
 // simulators, schedulers, and runner Engines. Callers that memoize
 // Tables must guard the memo itself (see internal/experiments.Context).
+// TableVersion stamps serialized Tables. Bump it whenever the profiler
+// sweep or the underlying cost model changes shape or semantics, so
+// on-disk caches (experiments.Context.ProfileCacheDir) of older builds
+// miss instead of silently serving stale kernel times.
+const TableVersion = 1
+
 type Table struct {
+	// Version is TableVersion at profiling time; zero in hand-built or
+	// pre-versioning tables.
+	Version   int    `json:"version,omitempty"`
 	ModelName string `json:"model"`
 	GPUName   string `json:"gpu"`
 
@@ -95,6 +104,37 @@ type Table struct {
 	// EncSyncsPerLayer/DecSyncsPerLayer: all-reduces per layer (2 and 3).
 	EncSyncsPerLayer int `json:"enc_syncs_per_layer"`
 	DecSyncsPerLayer int `json:"dec_syncs_per_layer"`
+
+	// pow2Token/Seq/Batch/Ctx record whether the corresponding grid is
+	// exactly {2^0, 2^1, ...} (geomGrid with a power-of-two maximum),
+	// enabling the O(1) exponent-indexed segment lookup. Set by
+	// initIndex from Run and Decode; the zero value falls back to binary
+	// search, so hand-built tables stay correct.
+	pow2Token, pow2Seq, pow2Batch, pow2Ctx bool
+}
+
+// isPow2Grid reports whether grid[i] == 1<<i for every i: the layout
+// geomGrid produces when its maximum is a power of two.
+func isPow2Grid(grid []int) bool {
+	if len(grid) == 0 || len(grid) > 62 {
+		return false
+	}
+	for i, v := range grid {
+		if v != 1<<uint(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// initIndex precomputes the per-grid fast-path flags. It must run
+// before the table is shared (Run and Decode call it); lookups on a
+// table without the index fall back to binary search.
+func (t *Table) initIndex() {
+	t.pow2Token = isPow2Grid(t.TokenGrid)
+	t.pow2Seq = isPow2Grid(t.SeqGrid)
+	t.pow2Batch = isPow2Grid(t.BatchGrid)
+	t.pow2Ctx = isPow2Grid(t.CtxGrid)
 }
 
 // Profiler sweeps a cost-model engine into a Table.
@@ -147,6 +187,7 @@ func (p *Profiler) Run() *Table {
 	m := p.Engine.Model
 	tps := p.feasibleTPs()
 	t := &Table{
+		Version:   TableVersion,
 		ModelName: m.Name,
 		GPUName:   p.Engine.GPU.Name,
 		TPDegrees: tps,
@@ -200,6 +241,7 @@ func (p *Profiler) Run() *Table {
 			func(n int64) float64 { return hw.P2PTime(link, n) }))
 	}
 	t.HostDMA = fitAlphaBeta(func(n int64) float64 { return hw.P2PTime(hw.HostDMA, n) })
+	t.initIndex()
 	return t
 }
 
@@ -231,9 +273,32 @@ func (t *Table) tpIndex(tp int) (int, error) {
 	return 0, fmt.Errorf("profile: TP degree %d not profiled (have %v)", tp, t.TPDegrees)
 }
 
+// segment returns lo such that grid[lo] <= x < grid[lo+1]. The caller
+// guarantees grid[0] < x < grid[last]. Power-of-two grids resolve in
+// O(1) from the float exponent (Ilogb is exact — no log rounding);
+// everything else binary-searches. Both paths return the same unique
+// lo, so the fast path is bit-identical to the slow one.
+func segment(grid []int, pow2 bool, x float64) int {
+	if pow2 {
+		// grid[i] == 2^i, so floor(log2 x) is the segment index.
+		return math.Ilogb(x)
+	}
+	lo := 0
+	hi := len(grid) - 1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if float64(grid[mid]) <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // interp1 linearly interpolates vals over the integer grid at x,
-// clamping outside the grid range.
-func interp1(grid []int, vals []float64, x float64) float64 {
+// clamping below the grid and extrapolating linearly above it.
+func interp1(grid []int, pow2 bool, vals []float64, x float64) float64 {
 	if len(grid) == 0 {
 		return 0
 	}
@@ -250,28 +315,39 @@ func interp1(grid []int, vals []float64, x float64) float64 {
 		x0, x1 := float64(grid[last-1]), float64(grid[last])
 		return vals[last] + (vals[last]-vals[last-1])*(x-x1)/(x1-x0)
 	}
-	lo := 0
-	hi := last
-	for hi-lo > 1 {
-		mid := (lo + hi) / 2
-		if float64(grid[mid]) <= x {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
+	lo := segment(grid, pow2, x)
+	hi := lo + 1
 	x0, x1 := float64(grid[lo]), float64(grid[hi])
 	f := (x - x0) / (x1 - x0)
 	return vals[lo]*(1-f) + vals[hi]*f
 }
 
-// interp2 bilinearly interpolates a [len(g1)][len(g2)] table.
-func interp2(g1, g2 []int, vals [][]float64, x, y float64) float64 {
-	row := make([]float64, len(g1))
-	for i := range g1 {
-		row[i] = interp1(g2, vals[i], y)
+// interp2 bilinearly interpolates a [len(g1)][len(g2)] table. Only the
+// one or two rows the outer axis actually touches are interpolated, so
+// the lookup is allocation-free; the branch structure mirrors interp1
+// exactly, keeping results bit-identical to interpolating every row.
+func interp2(g1, g2 []int, p1, p2 bool, vals [][]float64, x, y float64) float64 {
+	if len(g1) == 0 {
+		return 0
 	}
-	return interp1(g1, row, x)
+	if x <= float64(g1[0]) {
+		return interp1(g2, p2, vals[0], y)
+	}
+	last := len(g1) - 1
+	if x >= float64(g1[last]) {
+		if last == 0 {
+			return interp1(g2, p2, vals[0], y)
+		}
+		x0, x1 := float64(g1[last-1]), float64(g1[last])
+		vLast := interp1(g2, p2, vals[last], y)
+		vPrev := interp1(g2, p2, vals[last-1], y)
+		return vLast + (vLast-vPrev)*(x-x1)/(x1-x0)
+	}
+	lo := segment(g1, p1, x)
+	hi := lo + 1
+	x0, x1 := float64(g1[lo]), float64(g1[hi])
+	f := (x - x0) / (x1 - x0)
+	return interp1(g2, p2, vals[lo], y)*(1-f) + interp1(g2, p2, vals[hi], y)*f
 }
 
 // EncodeRest returns the rest-of-layer encode time for totalTokens.
@@ -283,7 +359,7 @@ func (t *Table) EncodeRest(totalTokens int, tp int) (float64, error) {
 	if totalTokens <= 0 {
 		return 0, nil
 	}
-	return interp1(t.TokenGrid, t.EncRest[i], float64(totalTokens)), nil
+	return interp1(t.TokenGrid, t.pow2Token, t.EncRest[i], float64(totalTokens)), nil
 }
 
 // EncodeAttn returns the encode attention time.
@@ -295,7 +371,7 @@ func (t *Table) EncodeAttn(totalTokens int, meanSeq float64, tp int) (float64, e
 	if totalTokens <= 0 {
 		return 0, nil
 	}
-	return interp2(t.TokenGrid, t.SeqGrid, t.EncAttn[i], float64(totalTokens), meanSeq), nil
+	return interp2(t.TokenGrid, t.SeqGrid, t.pow2Token, t.pow2Seq, t.EncAttn[i], float64(totalTokens), meanSeq), nil
 }
 
 // DecodeRest returns the rest-of-layer decode time for one iteration.
@@ -307,7 +383,7 @@ func (t *Table) DecodeRest(batch int, tp int) (float64, error) {
 	if batch <= 0 {
 		return 0, nil
 	}
-	return interp1(t.BatchGrid, t.DecRest[i], float64(batch)), nil
+	return interp1(t.BatchGrid, t.pow2Batch, t.DecRest[i], float64(batch)), nil
 }
 
 // DecodeAttn returns the decode attention time; ctx is the combined
@@ -320,7 +396,7 @@ func (t *Table) DecodeAttn(batch int, ctx float64, tp int) (float64, error) {
 	if batch <= 0 {
 		return 0, nil
 	}
-	return interp2(t.BatchGrid, t.CtxGrid, t.DecAttn[i], float64(batch), ctx), nil
+	return interp2(t.BatchGrid, t.CtxGrid, t.pow2Batch, t.pow2Ctx, t.DecAttn[i], float64(batch), ctx), nil
 }
 
 // SyncTime returns the tensor-parallel synchronization time for one
@@ -413,6 +489,7 @@ func Decode(data []byte) (*Table, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
+	t.initIndex()
 	return &t, nil
 }
 

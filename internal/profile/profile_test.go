@@ -266,6 +266,92 @@ func TestQuickLookupMonotone(t *testing.T) {
 	}
 }
 
+// TestPow2FastPathMatchesBinarySearch: the O(1) exponent-indexed
+// segment lookup must be bit-identical to the binary-search fallback on
+// every lookup surface, including grid points, interior values,
+// fractional coordinates, and beyond-grid extrapolation.
+func TestPow2FastPathMatchesBinarySearch(t *testing.T) {
+	tab := table(t, model.OPT13B, hw.A40Cluster)
+	if !tab.pow2Token || !tab.pow2Seq || !tab.pow2Batch || !tab.pow2Ctx {
+		t.Fatal("geomGrid power-of-two grids should enable the fast path")
+	}
+	slow := *tab
+	slow.pow2Token, slow.pow2Seq, slow.pow2Batch, slow.pow2Ctx = false, false, false, false
+
+	check := func(name string, a, b float64, errA, errB error) {
+		t.Helper()
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("%s: error mismatch %v vs %v", name, errA, errB)
+		}
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("%s: fast %v != slow %v", name, a, b)
+		}
+	}
+
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 3000; i++ {
+		tp := tab.TPDegrees[r.Intn(len(tab.TPDegrees))]
+		tok := r.Intn(1<<18) + 1 // up to 2x beyond the token grid
+		seq := r.Float64() * float64(uint(1)<<13)
+		batch := r.Intn(1<<13) + 1
+		ctx := r.Float64() * float64(uint(1)<<14)
+		if i < 64 {
+			// Hit grid points and segment boundaries exactly.
+			tok = 1 << uint(i%18)
+			batch = 1 << uint(i%13)
+			seq = float64(int(1) << uint(i%13))
+			ctx = float64(int(1) << uint(i%14))
+		}
+		a, ea := tab.EncodeRest(tok, tp)
+		b, eb := slow.EncodeRest(tok, tp)
+		check("EncodeRest", a, b, ea, eb)
+		a, ea = tab.EncodeAttn(tok, seq, tp)
+		b, eb = slow.EncodeAttn(tok, seq, tp)
+		check("EncodeAttn", a, b, ea, eb)
+		a, ea = tab.DecodeRest(batch, tp)
+		b, eb = slow.DecodeRest(batch, tp)
+		check("DecodeRest", a, b, ea, eb)
+		a, ea = tab.DecodeAttn(batch, ctx, tp)
+		b, eb = slow.DecodeAttn(batch, ctx, tp)
+		check("DecodeAttn", a, b, ea, eb)
+	}
+}
+
+func TestIsPow2Grid(t *testing.T) {
+	cases := []struct {
+		grid []int
+		want bool
+	}{
+		{[]int{1, 2, 4, 8}, true},
+		{[]int{1}, true},
+		{[]int{1, 2, 3}, false},
+		{[]int{2, 4, 8}, false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := isPow2Grid(c.grid); got != c.want {
+			t.Fatalf("isPow2Grid(%v) = %v, want %v", c.grid, got, c.want)
+		}
+	}
+}
+
+// Decoded tables must re-enable the fast path (the flags are unexported
+// and not serialized).
+func TestDecodeRestoresFastPath(t *testing.T) {
+	tab := table(t, model.OPT13B, hw.A40Cluster)
+	data, err := tab.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.pow2Token || !back.pow2Seq || !back.pow2Batch || !back.pow2Ctx {
+		t.Fatal("Decode should rebuild the pow2 index")
+	}
+}
+
 func BenchmarkProfilerRun(b *testing.B) {
 	p, _ := New(model.OPT13B, hw.A40Cluster)
 	for i := 0; i < b.N; i++ {

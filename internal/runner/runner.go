@@ -324,9 +324,9 @@ func (e *Engine) takeEncodeBatch(pending *[]workload.Request, want int, meanIn f
 		// Decoder under/over target: top up or back off (§5.2).
 		deficit := targetBD - activeNow
 		if deficit > 0 {
-			take = maxInt(take, minInt(deficit, take*2))
+			take = max(take, min(deficit, take*2))
 		} else if float64(activeNow) > float64(targetBD)*(1+e.Theta) {
-			take = maxInt(1, take/2)
+			take = max(1, take/2)
 		}
 	}
 	if take > len(*pending) {
@@ -705,18 +705,4 @@ func meanInLen(reqs []workload.Request) float64 {
 		t += r.InLen
 	}
 	return float64(t) / float64(len(reqs))
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

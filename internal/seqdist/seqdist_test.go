@@ -306,6 +306,29 @@ func TestExpectedActiveFraction(t *testing.T) {
 	}
 }
 
+// ActiveFractions is the Evaluator fast path for the per-u method; the
+// two must agree bit for bit.
+func TestActiveFractionsMatchPerU(t *testing.T) {
+	d := truncNorm(t, 32, 13, 80)
+	for _, nd := range []int{1, 2, 7, 13, 32, 100} {
+		c, err := NewCompletionDist(d, nd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		af := c.ActiveFractions()
+		if len(af) != nd+1 {
+			t.Fatalf("ND=%d: len = %d, want %d", nd, len(af), nd+1)
+		}
+		for u := 1; u <= nd; u++ {
+			if want := c.ExpectedActiveFraction(u); af[u] != want {
+				t.Fatalf("ND=%d u=%d: %v != %v (bits %x vs %x)",
+					nd, u, af[u], want,
+					math.Float64bits(af[u]), math.Float64bits(want))
+			}
+		}
+	}
+}
+
 // Property: ΣP_D(U) over a full horizon (ND >= Max) is exactly 1, and
 // P_D(U) entries are valid probabilities for any ND.
 func TestQuickCompletionDistValid(t *testing.T) {

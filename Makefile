@@ -26,13 +26,14 @@ lint:
 	fi
 
 # Compare the reference and Evaluator estimate paths plus the
-# sequential/parallel schedule search.
+# sequential/parallel/multi-bound schedule search.
 bench:
 	$(GO) test -bench 'FindBest|Estimate' -run '^$$' -benchmem ./internal/core/
 
-# Regenerate the committed Estimate/FindBest perf report.
+# Regenerate the committed Estimate/FindBest and multi-bound sweep
+# perf reports.
 bench-report: build
-	./exegpt bench -time 1 -out BENCH_estimate.json
+	./exegpt bench -time 1 -out BENCH_estimate.json -sweep-out BENCH_sweep.json
 
 clean:
 	rm -f exegpt

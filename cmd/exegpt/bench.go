@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"exegpt/internal/core"
+	"exegpt/internal/experiments"
 	"exegpt/internal/model"
 	"exegpt/internal/sched"
 	"exegpt/internal/workload"
@@ -53,6 +54,104 @@ type BenchReport struct {
 	BestTput      float64 `json:"best_tput"`
 	BestLatency   float64 `json:"best_latency"`
 	BestIdentical bool    `json:"best_identical"`
+}
+
+// SweepBenchReport is the schema of BENCH_sweep.json: wall time of one
+// amortized FindBestMany over the deployment's four FT-derived latency
+// bounds versus the four independent FindBest calls it replaces. Both
+// paths run on warm per-worker memos, so the comparison isolates the
+// enumeration amortization (the Evaluator memos already make repeated
+// probes ~free; FindBestMany additionally stops re-expanding blocks).
+type SweepBenchReport struct {
+	GeneratedUnix int64    `json:"generated_unix"`
+	Model         string   `json:"model"`
+	Cluster       string   `json:"cluster"`
+	GPUs          int      `json:"gpus"`
+	Task          string   `json:"task"`
+	Workers       int      `json:"workers"`
+	Bounds        []string `json:"bounds"`
+
+	// IndependentMs is the wall time of len(Bounds) sequential FindBest
+	// calls; ManyMs is one FindBestMany over the same bounds.
+	IndependentMs float64 `json:"independent_ms"`
+	ManyMs        float64 `json:"findbestmany_ms"`
+	Speedup       float64 `json:"speedup"`
+
+	// Evals compare total simulator invocations per full sweep.
+	IndependentEvals int     `json:"independent_evals"`
+	ManyEvals        int     `json:"findbestmany_evals"`
+	EvalsRatio       float64 `json:"evals_ratio"`
+
+	FrontierPoints int `json:"frontier_points"`
+	// PerBoundIdentical asserts every bound's selected schedule matches
+	// the standalone FindBest selection bit-for-bit.
+	PerBoundIdentical bool `json:"per_bound_identical"`
+}
+
+// benchSweep measures the multi-bound amortization on deployment d and
+// fills a report. The caller has already fixed d.Sch.Workers.
+func benchSweep(d *experiments.Deployment, policies []sched.Policy, bounds []float64, dur time.Duration) (SweepBenchReport, error) {
+	s := d.Sch
+	rep := SweepBenchReport{
+		GeneratedUnix: time.Now().Unix(),
+		Model:         d.Model.Name, Cluster: d.Cluster.Name,
+		GPUs: d.Cluster.TotalGPUs(), Task: d.Task.ID,
+		Workers: s.Workers,
+	}
+	for _, b := range bounds {
+		rep.Bounds = append(rep.Bounds, fmtSeconds(b))
+	}
+
+	// Reference pass: record per-bound results and evals, warm the
+	// memos so both timed paths run steady-state.
+	indep := make([]core.Result, len(bounds))
+	for i, b := range bounds {
+		res, err := s.FindBest(policies, b)
+		if err != nil {
+			return rep, err
+		}
+		indep[i] = res
+		rep.IndependentEvals += res.Evals
+	}
+	many, err := s.FindBestMany(policies, bounds)
+	if err != nil {
+		return rep, err
+	}
+	rep.ManyEvals = s.Evals
+	rep.FrontierPoints = s.Frontier.Len()
+	if rep.ManyEvals > 0 {
+		rep.EvalsRatio = float64(rep.IndependentEvals) / float64(rep.ManyEvals)
+	}
+	rep.PerBoundIdentical = true
+	for i := range bounds {
+		if many[i].Found != indep[i].Found ||
+			many[i].Best.Config != indep[i].Best.Config ||
+			math.Float64bits(many[i].Best.Throughput) != math.Float64bits(indep[i].Best.Throughput) ||
+			math.Float64bits(many[i].Best.Latency) != math.Float64bits(indep[i].Best.Latency) {
+			rep.PerBoundIdentical = false
+		}
+	}
+
+	rep.IndependentMs, err = measureWall(dur, func() error {
+		for _, b := range bounds {
+			if _, err := s.FindBest(policies, b); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return rep, err
+	}
+	rep.ManyMs, err = measureWall(dur, func() error {
+		_, err := s.FindBestMany(policies, bounds)
+		return err
+	})
+	if err != nil {
+		return rep, err
+	}
+	rep.Speedup = rep.IndependentMs / rep.ManyMs
+	return rep, nil
 }
 
 // benchConfigs builds a representative config mix across the three
@@ -117,6 +216,8 @@ func cmdBench(args []string) error {
 	lbound := fs.Float64("lbound", 0, "latency bound in seconds for the FindBest measurement (0 = unconstrained)")
 	budget := fs.Float64("time", 1.0, "minimum seconds per measurement")
 	out := fs.String("out", "BENCH_estimate.json", "report path")
+	sweepOut := fs.String("sweep-out", "BENCH_sweep.json",
+		"multi-bound sweep report path (empty disables the sweep benchmark)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -247,5 +348,33 @@ func cmdBench(args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *sweepOut == "" {
+		return nil
+	}
+	// Multi-bound sweep: the paper's four FT-derived bounds per
+	// deployment, amortized by FindBestMany vs searched independently.
+	bounds, err := d.FTBounds()
+	if err != nil {
+		return err
+	}
+	srep, err := benchSweep(d, policies, bounds, dur)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sweep:      %d bounds, independent %.3f ms vs amortized %.3f ms (%.1fx), evals %d vs %d (%.1fx), %d frontier points\n",
+		len(bounds), srep.IndependentMs, srep.ManyMs, srep.Speedup,
+		srep.IndependentEvals, srep.ManyEvals, srep.EvalsRatio, srep.FrontierPoints)
+	if !srep.PerBoundIdentical {
+		return fmt.Errorf("FindBestMany and per-bound FindBest selections disagree")
+	}
+	sdata, err := json.MarshalIndent(srep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*sweepOut, append(sdata, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *sweepOut)
 	return nil
 }

@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strconv"
+	"strings"
 
+	"exegpt/internal/experiments"
 	"exegpt/internal/model"
 	"exegpt/internal/sched"
 	"exegpt/internal/workload"
@@ -22,6 +25,8 @@ func cmdSearch(args []string) error {
 	taskID := fs.String("task", "S", "task ID (S, T, G, C1, C2, wmt, alpaca, cnn)")
 	policySet := fs.String("policies", "all", "policy set: rra, waa or all")
 	lbound := fs.Float64("lbound", 0, "latency bound in seconds (0 = unconstrained)")
+	lbounds := fs.String("lbounds", "",
+		"comma-separated latency bounds (e.g. 0.5,1,Inf): one amortized multi-bound search; overrides -lbound")
 	maxBatch := fs.Int("maxbatch", 0, "cap the decoder-batch search axis (0 = scheduler default)")
 	maxND := fs.Int("maxnd", 0, "cap the encoding-interval search axis (0 = scheduler default)")
 	minLat := fs.Bool("minlat", false, "also report the lowest achievable latency (full grid scan)")
@@ -81,6 +86,15 @@ func cmdSearch(args []string) error {
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+
+	if *lbounds != "" {
+		boundList, err := parseBounds(*lbounds)
+		if err != nil {
+			return err
+		}
+		return searchMany(ctx, d, policies, boundList, task, workers, *minLat, *execute)
+	}
+
 	fmt.Printf("search: %s on %dx %s, task %s, bound %s, %d workers\n",
 		m.Name, nGPUs, cluster.Name, task.ID, fmtSeconds(bound), workers)
 
@@ -123,6 +137,81 @@ func cmdSearch(args []string) error {
 			out.Stats.Throughput, out.Stats.SteadyTput, out.Stats.P99Lat, len(reqs))
 	}
 	return nil
+}
+
+// searchMany runs the amortized multi-bound search and prints one
+// selection per bound; with execute set, each distinct selected
+// schedule is run once on XRunner.
+func searchMany(ctx *experiments.Context, d *experiments.Deployment, policies []sched.Policy, bounds []float64, task workload.Task, workers int, minLat, execute bool) error {
+	fmt.Printf("search: %s on %dx %s, task %s, %d bounds (amortized), %d workers\n",
+		d.Model.Name, d.Cluster.TotalGPUs(), d.Cluster.Name, task.ID, len(bounds), workers)
+	if minLat {
+		min, err := d.Sch.MinLatency(policies)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("lowest achievable latency: %.3f s\n", min)
+	}
+	ress, err := d.Sch.FindBestMany(policies, bounds)
+	if err != nil {
+		return err
+	}
+	for i, res := range ress {
+		if !res.Found {
+			fmt.Printf("bound %-10s NS after %d evaluations\n", fmtSeconds(bounds[i]), res.Evals)
+			continue
+		}
+		fmt.Printf("bound %-10s %s %s: %.2f seq/s at %.3f s latency (%d evaluations)\n",
+			fmtSeconds(bounds[i]), res.Best.Config.Policy, res.Best.Config,
+			res.Best.Throughput, res.Best.Latency, res.Evals)
+	}
+	fmt.Printf("total: %d evaluations, %d frontier points\n", d.Sch.Evals, d.Sch.Frontier.Len())
+	if !execute {
+		return nil
+	}
+	reqs, err := ctx.RequestStream(task, 0)
+	if err != nil {
+		return err
+	}
+	ran := map[sched.Config]bool{}
+	for i, res := range ress {
+		if !res.Found || ran[res.Best.Config] {
+			continue
+		}
+		ran[res.Best.Config] = true
+		out, err := d.Run.Run(res.Best.Config, res.Best.Alloc, reqs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("measured %s (bound %s): %.2f seq/s total, %.2f seq/s steady, p99 latency %.3f s\n",
+			res.Best.Config, fmtSeconds(bounds[i]), out.Stats.Throughput, out.Stats.SteadyTput, out.Stats.P99Lat)
+	}
+	return nil
+}
+
+// parseBounds parses a comma-separated latency-bound list; "Inf" (any
+// case) or a non-positive value means unconstrained.
+func parseBounds(list string) ([]float64, error) {
+	var out []float64
+	for _, tok := range strings.Split(list, ",") {
+		tok = strings.TrimSpace(tok)
+		if strings.EqualFold(tok, "inf") {
+			out = append(out, math.Inf(1))
+			continue
+		}
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil || math.IsNaN(v) {
+			return nil, fmt.Errorf("bad bound %q", tok)
+		}
+		if v <= 0 {
+			v = math.Inf(1)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty bound list")
+	}
+	return out, nil
 }
 
 func fmtSeconds(s float64) string {

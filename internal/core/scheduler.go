@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 
 	"exegpt/internal/par"
 	"exegpt/internal/sched"
@@ -116,6 +117,12 @@ type Scheduler struct {
 	// tests assert it); the flag exists for benchmarks comparing the
 	// paths and for debugging.
 	DisableMemo bool
+	// Frontier is the merged latency→throughput Pareto frontier
+	// discovered by the last FindBestMany call (canonical branch merge
+	// order, so it is deterministic across worker counts). It is
+	// JSON-serializable, which makes it a natural per-shard result for
+	// future multi-process sweep sharding.
+	Frontier Frontier
 
 	// evs are the per-worker Evaluators, sized by ensureEvals at the
 	// start of each search; evs[w] is only ever touched by pool worker w
@@ -347,62 +354,60 @@ func (c branchCorners) seedTput(lbound float64) (float64, bool) {
 	return t, ok
 }
 
-// bbSearch runs Algorithm 1 over the axes for one (policy, TP) choice.
-// seed is the deterministic cross-branch throughput lower bound derived
-// from every branch's corner probes (FindBest phase 1): it only ever
-// tightens pruning, and — under the monotone-corner assumption (see
-// FindBest) — it can never prune a point whose throughput reaches the
-// global optimum. Because the seed is fixed before any branch expands a
-// block, the whole search (including Evals) is deterministic.
-func (s *Scheduler) bbSearch(ev *Evaluator, policy sched.Policy, tp sched.TPSpec, axes []Axis, lbound, seed float64, c branchCorners, evals *int) (Estimate, bool, error) {
-	lo := make([]int, len(axes))
-	hi := make([]int, len(axes))
-	for d, a := range axes {
-		hi[d] = a.Size() - 1
-	}
-	epsL := s.TolL * lbound
-	if math.IsInf(lbound, 1) {
-		epsL = 0
-	}
+// incumbent tracks one branch search's running state: the throughput
+// pruning bound, the best feasible bound-satisfying estimate found so
+// far, and an optional Frontier recording every feasible point
+// evaluated (the multi-bound search resumes from it; single-bound
+// FindBest keeps no history and leaves it nil).
+type incumbent struct {
+	bound    float64
+	best     Estimate
+	found    bool
+	frontier *Frontier
+}
 
-	// Line 1-3: initial block (corners pre-evaluated in phase 1); if
-	// the top corner satisfies the constraint it is optimal.
-	top, bottom := c.top, c.bottom
-	if top.lat < lbound && top.est.Feasible {
-		return top.est, true, nil
+// consider offers one evaluated point to the incumbent under lbound.
+func (inc *incumbent) consider(p *perf, lbound float64) {
+	if inc.frontier != nil {
+		// Record out-of-bound points too: they answer looser bounds
+		// later without a new probe.
+		inc.frontier.Add(&p.est)
 	}
-
-	// bound is the branch's throughput lower bound: the deterministic
-	// cross-branch seed, tightened by every feasible bound-satisfying
-	// point this branch evaluates. Throughputs are nonnegative, so 0
-	// means "no bound yet".
-	bound := seed
-
-	var best Estimate
-	found := false
-	consider := func(p perf) {
-		if p.est.Feasible && p.lat < lbound {
-			if p.tput > bound {
-				bound = p.tput
-			}
-			if !found || better(p.est, best) {
-				best = p.est
-				found = true
-			}
+	if p.est.Feasible && p.lat < lbound {
+		if p.tput > inc.bound {
+			inc.bound = p.tput
+		}
+		if !inc.found || better(p.est, inc.best) {
+			inc.best = p.est
+			inc.found = true
 		}
 	}
-	consider(bottom)
-	consider(top)
+}
+
+// epsLat returns the Line 14 latency tolerance for a bound.
+func (s *Scheduler) epsLat(lbound float64) float64 {
+	if math.IsInf(lbound, 1) {
+		return 0
+	}
+	return s.TolL * lbound
+}
+
+// bbLoop drains the block queue of Algorithm 1 for one (policy, TP)
+// branch under lbound, updating inc with every evaluated point. Blocks
+// discarded because their low corner cannot satisfy the latency bound
+// (Line 14) go to deferSink when it is non-nil: they are exactly the
+// blocks a looser bound must revisit, so the multi-bound search
+// persists them for resumption instead of re-splitting from the root.
+// A nil sink drops them, which is the single-bound behavior.
+func (s *Scheduler) bbLoop(ev *Evaluator, policy sched.Policy, tp sched.TPSpec, axes []Axis, lbound float64, inc *incumbent, queue []block, deferSink *[]block, evals *int) error {
+	epsL := s.epsLat(lbound)
 
 	// canBeat reports whether a block with throughput upper bound upp
 	// could still improve on the incumbent T* (within the TolT
 	// tolerance, Line 18).
 	canBeat := func(upp float64) bool {
-		return bound == 0 || upp+s.TolT*bound >= bound
+		return inc.bound == 0 || upp+s.TolT*inc.bound >= inc.bound
 	}
-
-	b0 := block{lo: lo, hi: hi, upp: top, lowr: bottom}
-	queue := []block{b0}
 
 	for len(queue) > 0 {
 		// Line 6: pop the block with the max upper bound. A linear scan
@@ -425,7 +430,7 @@ func (s *Scheduler) bbSearch(ev *Evaluator, policy sched.Policy, tp sched.TPSpec
 			continue
 		}
 		if b.isPoint() {
-			consider(b.upp)
+			inc.consider(&b.upp, lbound)
 			continue
 		}
 
@@ -438,14 +443,14 @@ func (s *Scheduler) bbSearch(ev *Evaluator, policy sched.Policy, tp sched.TPSpec
 			br := cornerSwap(b, d2)  // low in d2, high elsewhere
 			ptl, err := s.point(ev, policy, tp, axes, tl, evals)
 			if err != nil {
-				return Estimate{}, false, err
+				return err
 			}
 			pbr, err := s.point(ev, policy, tp, axes, br, evals)
 			if err != nil {
-				return Estimate{}, false, err
+				return err
 			}
-			consider(ptl)
-			consider(pbr)
+			inc.consider(&ptl, lbound)
+			inc.consider(&pbr, lbound)
 			// Pick the corner with higher throughput satisfying the
 			// bound and split the dimension that corner holds low: that
 			// separates its feasible half from the infeasible one.
@@ -458,26 +463,65 @@ func (s *Scheduler) bbSearch(ev *Evaluator, policy sched.Policy, tp sched.TPSpec
 		for _, half := range splitAt(b, dim, mid) {
 			upp, err := s.point(ev, policy, tp, axes, half.hi, evals)
 			if err != nil {
-				return Estimate{}, false, err
+				return err
 			}
 			lowr, err := s.point(ev, policy, tp, axes, half.lo, evals)
 			if err != nil {
-				return Estimate{}, false, err
+				return err
 			}
-			consider(upp)
-			consider(lowr)
+			inc.consider(&upp, lbound)
+			inc.consider(&lowr, lbound)
 			half.upp, half.lowr = upp, lowr
 			// Line 14: keep only blocks whose lower corner can satisfy
-			// the latency bound (within tolerance).
+			// the latency bound (within tolerance); defer the rest for
+			// looser bounds when resumption state is kept.
 			if lowr.lat < lbound+epsL {
 				// Line 18: and whose upper bound can improve T*.
 				if canBeat(half.upperTput()) {
 					queue = append(queue, half)
 				}
+			} else if deferSink != nil {
+				*deferSink = append(*deferSink, half)
 			}
 		}
 	}
-	return best, found, nil
+	return nil
+}
+
+// bbSearch runs Algorithm 1 over the axes for one (policy, TP) choice.
+// seed is the deterministic cross-branch throughput lower bound derived
+// from every branch's corner probes (FindBest phase 1): it only ever
+// tightens pruning, and — under the monotone-corner assumption (see
+// FindBest) — it can never prune a point whose throughput reaches the
+// global optimum. Because the seed is fixed before any branch expands a
+// block, the whole search (including Evals) is deterministic.
+func (s *Scheduler) bbSearch(ev *Evaluator, policy sched.Policy, tp sched.TPSpec, axes []Axis, lbound, seed float64, c branchCorners, evals *int) (Estimate, bool, error) {
+	lo := make([]int, len(axes))
+	hi := make([]int, len(axes))
+	for d, a := range axes {
+		hi[d] = a.Size() - 1
+	}
+
+	// Line 1-3: initial block (corners pre-evaluated in phase 1); if
+	// the top corner satisfies the constraint it is optimal.
+	top, bottom := c.top, c.bottom
+	if top.lat < lbound && top.est.Feasible {
+		return top.est, true, nil
+	}
+
+	// The incumbent bound starts at the deterministic cross-branch
+	// seed, tightened by every feasible bound-satisfying point this
+	// branch evaluates. Throughputs are nonnegative, so 0 means "no
+	// bound yet".
+	inc := incumbent{bound: seed}
+	inc.consider(&bottom, lbound)
+	inc.consider(&top, lbound)
+
+	b0 := block{lo: lo, hi: hi, upp: top, lowr: bottom}
+	if err := s.bbLoop(ev, policy, tp, axes, lbound, &inc, []block{b0}, nil, evals); err != nil {
+		return Estimate{}, false, err
+	}
+	return inc.best, inc.found, nil
 }
 
 // secondWidest returns the widest dimension other than skip, or -1.
@@ -545,6 +589,22 @@ func (s *Scheduler) axesFor(policy sched.Policy) []Axis {
 	return []Axis{batchAxis("BE", s.MaxBatch/4), bmAxis(s.MaxBm)}
 }
 
+// probeCorners evaluates one branch's initial block corners — phase 1
+// of FindBest and FindBestMany — returning the corner perfs and the
+// root block's lo/hi index vectors.
+func (s *Scheduler) probeCorners(ev *Evaluator, j branch, axes []Axis, evals *int) (c branchCorners, lo, hi []int, err error) {
+	lo = make([]int, len(axes))
+	hi = make([]int, len(axes))
+	for d, a := range axes {
+		hi[d] = a.Size() - 1
+	}
+	c.top, err = s.point(ev, j.policy, j.tp, axes, hi, evals)
+	if err == nil {
+		c.bottom, err = s.point(ev, j.policy, j.tp, axes, lo, evals)
+	}
+	return c, lo, hi, err
+}
+
 // FindBest runs Algorithm 1 for every policy in policies and every TP
 // choice and returns the highest-throughput schedule satisfying lbound.
 //
@@ -573,19 +633,8 @@ func (s *Scheduler) FindBest(policies []sched.Policy, lbound float64) (Result, e
 	// fixed set, so the derived seed bound is deterministic.
 	corners := make([]branchCorners, len(jobs))
 	s.forEachBranch(len(jobs), func(w, i int) {
-		j := jobs[i]
 		o := &outs[i]
-		axes := s.axesFor(j.policy)
-		lo := make([]int, len(axes))
-		hi := make([]int, len(axes))
-		for d, a := range axes {
-			hi[d] = a.Size() - 1
-		}
-		ev := s.eval(w)
-		corners[i].top, o.err = s.point(ev, j.policy, j.tp, axes, hi, &o.evals)
-		if o.err == nil {
-			corners[i].bottom, o.err = s.point(ev, j.policy, j.tp, axes, lo, &o.evals)
-		}
+		corners[i], _, _, o.err = s.probeCorners(s.eval(w), jobs[i], s.axesFor(jobs[i].policy), &o.evals)
 	})
 	seed := 0.0
 	for i := range jobs {
@@ -604,6 +653,179 @@ func (s *Scheduler) FindBest(policies []sched.Policy, lbound float64) (Result, e
 		o.est, o.found, o.err = s.bbSearch(s.eval(w), j.policy, j.tp, s.axesFor(j.policy), lbound, seed, corners[i], &o.evals)
 	})
 	return s.reduce(outs)
+}
+
+// branchState persists one (policy, TP) branch's search across the
+// bounds of a FindBestMany pass.
+type branchState struct {
+	axes    []Axis
+	corners branchCorners
+	// deferred holds blocks discarded by the Line 14 latency test at a
+	// processed bound, with their corner evaluations. A looser bound
+	// re-admits the ones whose low corner now satisfies it and
+	// re-splits from there instead of from the root.
+	deferred []block
+	// frontier accumulates every feasible point the branch evaluated,
+	// Pareto-reduced; it seeds looser bounds' incumbents so previously
+	// discovered schedules are never re-enumerated.
+	frontier Frontier
+}
+
+// resumeSearch continues a branch's Algorithm 1 at lbound from the
+// state persisted by tighter bounds. The incumbent starts from the
+// frontier's best bound-satisfying point and the cross-bound seed;
+// enumeration restarts only from the deferred blocks the new bound
+// unlocks.
+func (s *Scheduler) resumeSearch(ev *Evaluator, j branch, lbound, seed float64, st *branchState, evals *int) (Estimate, bool, error) {
+	// Line 1-3 short-circuit, as in bbSearch: a feasible top corner is
+	// the branch optimum under the monotone-corner assumption.
+	if st.corners.top.lat < lbound && st.corners.top.est.Feasible {
+		return st.corners.top.est, true, nil
+	}
+	inc := incumbent{bound: seed, frontier: &st.frontier}
+	if est, ok := st.frontier.BestUnder(lbound); ok {
+		inc.best, inc.found = est, true
+		if est.Throughput > inc.bound {
+			inc.bound = est.Throughput
+		}
+	}
+	// Admit the deferred blocks this bound unlocks; keep the rest for
+	// looser bounds. The compaction preserves deferral order, so the
+	// whole pass stays deterministic.
+	epsL := s.epsLat(lbound)
+	var queue []block
+	keep := st.deferred[:0]
+	for _, b := range st.deferred {
+		if b.lowr.lat < lbound+epsL {
+			queue = append(queue, b)
+		} else {
+			keep = append(keep, b)
+		}
+	}
+	st.deferred = keep
+	if err := s.bbLoop(ev, j.policy, j.tp, st.axes, lbound, &inc, queue, &st.deferred, evals); err != nil {
+		return Estimate{}, false, err
+	}
+	return inc.best, inc.found, nil
+}
+
+// FindBestMany runs FindBest for every latency bound in bounds in one
+// amortized pass and returns one Result per bound, aligned with the
+// input order (bounds may be unsorted and contain duplicates, +Inf, or
+// unsatisfiably tight values). An empty bounds slice returns nil.
+//
+// The search processes the distinct bounds in ascending order and
+// persists per-branch state between them: the best schedule found under
+// a tighter bound is feasible under every looser one and seeds its
+// pruning bound; blocks discarded as latency-infeasible re-enter the
+// queue with their corner probes intact instead of being re-derived
+// from the root; and each branch's Pareto frontier answers looser
+// bounds for the already-explored region without new probes. Redundant
+// enumeration across bounds — the dominant cost once probes are
+// memoized — is therefore paid once.
+//
+// Determinism and equivalence: every seed is derived from completed
+// phases only (the fixed corner set plus fully reduced earlier bounds),
+// so the returned Results — including Evals — are identical across
+// worker counts and runs. Per bound, Best and Found are bit-identical
+// to a standalone FindBest at that bound under the same monotone-corner
+// assumption that makes FindBest optimal (see its doc): both searches
+// evaluate every point whose throughput can reach the bound's optimum,
+// and both reduce with the same canonical tie-break. Evals differs from
+// standalone FindBest by construction — that is the amortization —
+// but deterministically: probes are charged to the bound whose pass
+// issued them, with the shared corner probes charged to the tightest.
+// The merged frontier is left in s.Frontier.
+func (s *Scheduler) FindBestMany(policies []sched.Policy, bounds []float64) ([]Result, error) {
+	if len(bounds) == 0 {
+		return nil, nil
+	}
+	for _, b := range bounds {
+		// NaN never satisfies a latency comparison and cannot key the
+		// per-bound result map; reject it instead of silently returning
+		// garbage for the whole sweep.
+		if math.IsNaN(b) {
+			return nil, fmt.Errorf("core: NaN latency bound")
+		}
+	}
+	asc := append([]float64(nil), bounds...)
+	sort.Float64s(asc)
+	uniq := asc[:1]
+	for _, b := range asc[1:] {
+		if b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+
+	jobs := s.branches(policies)
+	s.ensureEvals()
+
+	// Phase 1: probe every branch's initial block corners once — the
+	// same fixed set FindBest evaluates — and set up resumable state
+	// rooted at each branch's full grid block.
+	states := make([]branchState, len(jobs))
+	cornerEvals := make([]int, len(jobs))
+	errs := make([]error, len(jobs))
+	s.forEachBranch(len(jobs), func(w, i int) {
+		st := &states[i]
+		st.axes = s.axesFor(jobs[i].policy)
+		var lo, hi []int
+		st.corners, lo, hi, errs[i] = s.probeCorners(s.eval(w), jobs[i], st.axes, &cornerEvals[i])
+		st.frontier.Add(&st.corners.top.est)
+		st.frontier.Add(&st.corners.bottom.est)
+		st.deferred = []block{{lo: lo, hi: hi, upp: st.corners.top, lowr: st.corners.bottom}}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2..n: one pass per distinct bound, ascending. Each pass
+	// seeds from the corner probes at its own bound — exactly
+	// FindBest's seed — tightened by the best schedule of the previous
+	// (tighter) bound, which is feasible here too.
+	byBound := make(map[float64]Result, len(uniq))
+	prevBest := 0.0
+	total := 0
+	for bi, lbound := range uniq {
+		seed := prevBest
+		for i := range jobs {
+			if t, ok := states[i].corners.seedTput(lbound); ok && t > seed {
+				seed = t
+			}
+		}
+		outs := make([]branchOutcome, len(jobs))
+		s.forEachBranch(len(jobs), func(w, i int) {
+			o := &outs[i]
+			if bi == 0 {
+				o.evals = cornerEvals[i]
+			}
+			o.est, o.found, o.err = s.resumeSearch(s.eval(w), jobs[i], lbound, seed, &states[i], &o.evals)
+		})
+		res, err := s.reduce(outs)
+		if err != nil {
+			return nil, err
+		}
+		byBound[lbound] = res
+		total += res.Evals
+		if res.Found && res.Best.Throughput > prevBest {
+			prevBest = res.Best.Throughput
+		}
+	}
+	s.Evals = total
+
+	// Merge the per-branch frontiers in canonical branch order.
+	s.Frontier = Frontier{}
+	for i := range states {
+		s.Frontier.Merge(&states[i].frontier)
+	}
+
+	out := make([]Result, len(bounds))
+	for k, b := range bounds {
+		out[k] = byBound[b]
+	}
+	return out, nil
 }
 
 // reduce folds branch outcomes in canonical order into one Result.

@@ -4,6 +4,14 @@
 // Time is virtual and measured in seconds (float64). Events scheduled at
 // the same instant are executed in scheduling order (FIFO), which makes
 // every simulation run bit-for-bit reproducible.
+//
+// Event structs are pooled: fired and lazily drained cancelled events
+// return to a per-Sim free list and are reused by later At/After calls,
+// so long simulations (the WAA runner schedules one event per decode
+// iteration and handover) stop churning the heap allocator once the
+// pool warms up. External code holds Handles, which carry a generation
+// counter so operations on an already-fired (recycled) event are safe
+// no-ops.
 package eventsim
 
 import (
@@ -12,20 +20,43 @@ import (
 	"math"
 )
 
-// Event is a callback scheduled to run at a virtual time.
+// Event is pool-owned storage for one scheduled callback. External code
+// never holds *Event directly; it gets a Handle.
 type Event struct {
 	at   float64
 	seq  uint64
+	gen  uint64
 	fn   func()
 	dead bool
 }
 
-// Time returns the virtual time at which the event fires.
-func (e *Event) Time() float64 { return e.at }
+// Handle refers to a scheduled event. The zero Handle is valid and
+// refers to nothing. Handles stay safe after the event fires: the pool
+// bumps the event's generation on recycle, so a stale Cancel cannot
+// touch whatever event reuses the storage.
+type Handle struct {
+	ev  *Event
+	gen uint64
+}
+
+// Time returns the virtual time at which the event fires, or NaN when
+// the handle no longer refers to a pending event.
+func (h Handle) Time() float64 {
+	if h.ev == nil || h.ev.gen != h.gen {
+		return math.NaN()
+	}
+	return h.ev.at
+}
 
 // Cancel prevents a pending event from firing. Cancelling an event that
-// already fired is a no-op.
-func (e *Event) Cancel() { e.dead = true }
+// already fired (or a zero Handle) is a no-op. The cancelled event is
+// dropped lazily: it stays in the heap until the simulation would pop
+// it, then goes straight back to the pool without running.
+func (h Handle) Cancel() {
+	if h.ev != nil && h.ev.gen == h.gen {
+		h.ev.dead = true
+	}
+}
 
 type eventHeap []*Event
 
@@ -53,6 +84,9 @@ type Sim struct {
 	seq     uint64
 	pending eventHeap
 	steps   uint64
+	// free is the Event pool: fired and drained-cancelled events park
+	// here and At reuses them instead of allocating.
+	free []*Event
 	// MaxSteps bounds the number of processed events to guard against
 	// runaway simulations; 0 means no bound.
 	MaxSteps uint64
@@ -69,23 +103,45 @@ func (s *Sim) Now() float64 { return s.now }
 // Steps returns the number of events processed so far.
 func (s *Sim) Steps() uint64 { return s.steps }
 
+// alloc takes an Event from the pool, or allocates when it is empty.
+func (s *Sim) alloc() *Event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &Event{}
+}
+
+// recycle returns a fired or drained-cancelled event to the pool. The
+// generation bump invalidates every outstanding Handle to it; dropping
+// fn releases the callback's captures.
+func (s *Sim) recycle(ev *Event) {
+	ev.gen++
+	ev.fn = nil
+	ev.dead = false
+	s.free = append(s.free, ev)
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the
 // past panics, because it indicates a logic error in the caller.
-func (s *Sim) At(t float64, fn func()) *Event {
+func (s *Sim) At(t float64, fn func()) Handle {
 	if t < s.now {
 		panic(fmt.Sprintf("eventsim: schedule at %v before now %v", t, s.now))
 	}
 	if math.IsNaN(t) {
 		panic("eventsim: schedule at NaN")
 	}
-	ev := &Event{at: t, seq: s.seq, fn: fn}
+	ev := s.alloc()
+	ev.at, ev.seq, ev.fn = t, s.seq, fn
 	s.seq++
 	heap.Push(&s.pending, ev)
-	return ev
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d seconds after the current time.
-func (s *Sim) After(d float64, fn func()) *Event {
+func (s *Sim) After(d float64, fn func()) Handle {
 	if d < 0 {
 		panic(fmt.Sprintf("eventsim: negative delay %v", d))
 	}
@@ -97,16 +153,21 @@ func (s *Sim) After(d float64, fn func()) *Event {
 func (s *Sim) Pending() int { return len(s.pending) }
 
 // Step processes the single earliest pending event. It reports whether
-// an event was processed.
+// an event was processed. The event's storage is recycled before its
+// callback runs, so the callback can immediately reuse it by scheduling
+// a follow-up event.
 func (s *Sim) Step() bool {
 	for len(s.pending) > 0 {
 		ev := heap.Pop(&s.pending).(*Event)
 		if ev.dead {
+			s.recycle(ev)
 			continue
 		}
 		s.now = ev.at
 		s.steps++
-		ev.fn()
+		fn := ev.fn
+		s.recycle(ev)
+		fn()
 		return true
 	}
 	return false
@@ -130,7 +191,7 @@ func (s *Sim) RunUntil(deadline float64) float64 {
 	for len(s.pending) > 0 {
 		next := s.pending[0]
 		if next.dead {
-			heap.Pop(&s.pending)
+			s.recycle(heap.Pop(&s.pending).(*Event))
 			continue
 		}
 		if next.at > deadline {

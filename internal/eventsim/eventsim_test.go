@@ -1,6 +1,7 @@
 package eventsim
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -252,4 +253,93 @@ func almostEq(a, b float64) bool {
 		d = -d
 	}
 	return d < 1e-9*(1+b)
+}
+
+// TestStaleHandleIsSafeAfterRecycle: once an event fires, its storage
+// returns to the pool. A stale Cancel (or Time) through the old handle
+// must not touch the event that reuses the storage.
+func TestStaleHandleIsSafeAfterRecycle(t *testing.T) {
+	s := New()
+	ran1, ran2 := false, false
+	h1 := s.At(1.0, func() { ran1 = true })
+	s.Run()
+	if !ran1 {
+		t.Fatal("first event did not run")
+	}
+	// The pool now holds the fired event; this At reuses its storage.
+	h2 := s.At(2.0, func() { ran2 = true })
+	h1.Cancel() // stale: must be a no-op
+	if !math.IsNaN(h1.Time()) {
+		t.Fatalf("stale Time = %v, want NaN", h1.Time())
+	}
+	if h2.Time() != 2.0 {
+		t.Fatalf("live Time = %v, want 2", h2.Time())
+	}
+	s.Run()
+	if !ran2 {
+		t.Fatal("stale Cancel killed the recycled event")
+	}
+}
+
+// TestZeroHandleIsSafe: the zero Handle refers to nothing.
+func TestZeroHandleIsSafe(t *testing.T) {
+	var h Handle
+	h.Cancel()
+	if !math.IsNaN(h.Time()) {
+		t.Fatal("zero-handle Time should be NaN")
+	}
+}
+
+// TestCancelledEventsRecycle: lazily drained cancelled events go back
+// to the pool and get reused instead of leaking.
+func TestCancelledEventsRecycle(t *testing.T) {
+	s := New()
+	for i := 0; i < 100; i++ {
+		s.At(1.0, func() {}).Cancel()
+	}
+	s.Run() // drains and recycles all 100
+	if got := testing.AllocsPerRun(100, func() {
+		s.At(s.Now()+1, func() {})
+		s.Run()
+	}); got > 0.5 {
+		t.Fatalf("steady-state schedule+run allocates %.1f objects/op, want ~0", got)
+	}
+}
+
+// BenchmarkEventChurn pins the steady-state cost of the runner's
+// schedule/fire pattern; with the Event pool it performs no per-event
+// allocations once warm.
+func BenchmarkEventChurn(b *testing.B) {
+	s := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		remaining := 100
+		var tick func()
+		tick = func() {
+			if remaining > 0 {
+				remaining--
+				s.After(1, tick)
+			}
+		}
+		s.After(1, tick)
+		s.Run()
+	}
+}
+
+// BenchmarkEventCancelChurn measures scheduling with heavy cancellation
+// (the timeout-then-cancel pattern).
+func BenchmarkEventCancelChurn(b *testing.B) {
+	s := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 100; j++ {
+			h := s.After(1, func() {})
+			if j%2 == 0 {
+				h.Cancel()
+			}
+		}
+		s.Run()
+	}
 }

@@ -278,21 +278,68 @@ func (d *Deployment) RunBaseline(sys baselines.System, bound float64, reqs []wor
 	return res.Stats.EffectiveTput(), nil
 }
 
+// RunOutcome is one latency bound's outcome from ScheduleAndRunMany.
+type RunOutcome struct {
+	Bound float64
+	// Tput is the measured effective throughput; zero when !OK.
+	Tput float64
+	// Est is the schedule the search selected (zero value when none was
+	// found).
+	Est core.Estimate
+	// OK is false when no feasible schedule exists, or the selected one
+	// trips runtime OOM on sampled tails (the paper's "NS").
+	OK bool
+}
+
+// ScheduleAndRunMany finds the best schedule for every latency bound in
+// one amortized multi-bound search (core.Scheduler.FindBestMany) and
+// executes each selected schedule, returning one outcome per bound in
+// input order. Per-bound schedules are bit-identical to what a
+// standalone FindBest would select. Adjacent bounds often pick the same
+// schedule, so executions are memoized per config: each distinct
+// schedule runs once per call.
+func (d *Deployment) ScheduleAndRunMany(policies []sched.Policy, bounds []float64, reqs []workload.Request) ([]RunOutcome, error) {
+	ress, err := d.Sch.FindBestMany(policies, bounds)
+	if err != nil {
+		return nil, err
+	}
+	type runMemo struct {
+		tput float64
+		ok   bool
+	}
+	runs := map[sched.Config]runMemo{}
+	outs := make([]RunOutcome, len(bounds))
+	for i, res := range ress {
+		out := RunOutcome{Bound: bounds[i]}
+		if res.Found {
+			out.Est = res.Best
+			m, seen := runs[res.Best.Config]
+			if !seen {
+				r, rerr := d.Run.Run(res.Best.Config, res.Best.Alloc, reqs)
+				if rerr == nil {
+					m = runMemo{tput: r.Stats.EffectiveTput(), ok: true}
+				}
+				// A schedule that passes the simulator but trips runtime
+				// OOM on sampled tails counts as not satisfiable.
+				runs[res.Best.Config] = m
+			}
+			out.Tput, out.OK = m.tput, m.ok
+		}
+		outs[i] = out
+	}
+	return outs, nil
+}
+
 // ScheduleAndRun finds the best schedule under the bound for the given
 // policies and executes it, returning the measured throughput. ok=false
-// means no feasible schedule (the paper's "NS").
+// means no feasible schedule (the paper's "NS"). It is the single-bound
+// case of ScheduleAndRunMany.
 func (d *Deployment) ScheduleAndRun(policies []sched.Policy, bound float64, reqs []workload.Request) (tput float64, est core.Estimate, ok bool, err error) {
-	res, err := d.Sch.FindBest(policies, bound)
-	if err != nil || !res.Found {
+	outs, err := d.ScheduleAndRunMany(policies, []float64{bound}, reqs)
+	if err != nil {
 		return 0, core.Estimate{}, false, err
 	}
-	out, err := d.Run.Run(res.Best.Config, res.Best.Alloc, reqs)
-	if err != nil {
-		// A schedule that passes the simulator but trips runtime OOM on
-		// sampled tails counts as not satisfiable.
-		return 0, res.Best, false, nil
-	}
-	return out.Stats.EffectiveTput(), res.Best, true, nil
+	return outs[0].Tput, outs[0].Est, outs[0].OK, nil
 }
 
 // tableWriter builds fixed-width text tables.

@@ -78,7 +78,10 @@ func MaxSpeedup(cells []ThroughputCell) float64 {
 }
 
 // throughputFigure runs one Figure 6/8-style comparison for the given
-// deployments, tasks, and ExeGPT policy sets.
+// deployments, tasks, and ExeGPT policy sets. Each policy family is
+// scheduled across all bounds in one amortized multi-bound search
+// (ScheduleAndRunMany); cells come out in the same per-bound order the
+// paper's bar groups use.
 func (c *Context) throughputFigure(deps []sched.Deployment, tasks []workload.Task, rra, waa bool) ([]ThroughputCell, error) {
 	var cells []ThroughputCell
 	for _, dply := range deps {
@@ -98,7 +101,18 @@ func (c *Context) throughputFigure(deps []sched.Deployment, tasks []workload.Tas
 			if err != nil {
 				return nil, err
 			}
-			for _, bound := range bounds {
+			var rraOuts, waaOuts []RunOutcome
+			if rra {
+				if rraOuts, err = d.ScheduleAndRunMany([]sched.Policy{sched.RRA}, bounds, reqs); err != nil {
+					return nil, err
+				}
+			}
+			if waa {
+				if waaOuts, err = d.ScheduleAndRunMany([]sched.Policy{sched.WAAC, sched.WAAM}, bounds, reqs); err != nil {
+					return nil, err
+				}
+			}
+			for bi, bound := range bounds {
 				ftTput, err := d.RunBaseline(baselines.FT, bound, reqs)
 				if err != nil {
 					return nil, err
@@ -108,23 +122,15 @@ func (c *Context) throughputFigure(deps []sched.Deployment, tasks []workload.Tas
 					System: "FT", Tput: ftTput, Feasible: ftTput > 0,
 				})
 				if rra {
-					tput, _, ok, err := d.ScheduleAndRun([]sched.Policy{sched.RRA}, bound, reqs)
-					if err != nil {
-						return nil, err
-					}
 					cells = append(cells, ThroughputCell{
 						Model: dply.Model.Name, Task: task.ID, Bound: bound,
-						System: "ExeGPT-RRA", Tput: tput, Feasible: ok,
+						System: "ExeGPT-RRA", Tput: rraOuts[bi].Tput, Feasible: rraOuts[bi].OK,
 					})
 				}
 				if waa {
-					tput, _, ok, err := d.ScheduleAndRun([]sched.Policy{sched.WAAC, sched.WAAM}, bound, reqs)
-					if err != nil {
-						return nil, err
-					}
 					cells = append(cells, ThroughputCell{
 						Model: dply.Model.Name, Task: task.ID, Bound: bound,
-						System: "ExeGPT-WAA", Tput: tput, Feasible: ok,
+						System: "ExeGPT-WAA", Tput: waaOuts[bi].Tput, Feasible: waaOuts[bi].OK,
 					})
 				}
 			}
@@ -348,7 +354,20 @@ func (c *Context) Figure10() ([]ThroughputCell, error) {
 				return nil, err
 			}
 			use := []float64{bounds[1], math.Inf(1)} // 30% and infinity
-			for _, bound := range use {
+			pols := []struct {
+				name     string
+				policies []sched.Policy
+			}{
+				{"ExeGPT-RRA", []sched.Policy{sched.RRA}},
+				{"ExeGPT-WAA", []sched.Policy{sched.WAAC, sched.WAAM}},
+			}
+			outsByPol := make([][]RunOutcome, len(pols))
+			for pi, pol := range pols {
+				if outsByPol[pi], err = d.ScheduleAndRunMany(pol.policies, use, eval); err != nil {
+					return nil, err
+				}
+			}
+			for bi, bound := range use {
 				ftTput, err := d.RunBaseline(baselines.FT, bound, eval)
 				if err != nil {
 					return nil, err
@@ -357,20 +376,10 @@ func (c *Context) Figure10() ([]ThroughputCell, error) {
 					Model: cb.m.Name, Task: task.ID, Bound: bound,
 					System: "FT", Tput: ftTput, Feasible: ftTput > 0,
 				})
-				for _, pol := range []struct {
-					name     string
-					policies []sched.Policy
-				}{
-					{"ExeGPT-RRA", []sched.Policy{sched.RRA}},
-					{"ExeGPT-WAA", []sched.Policy{sched.WAAC, sched.WAAM}},
-				} {
-					tput, _, ok, err := d.ScheduleAndRun(pol.policies, bound, eval)
-					if err != nil {
-						return nil, err
-					}
+				for pi, pol := range pols {
 					cells = append(cells, ThroughputCell{
 						Model: cb.m.Name, Task: task.ID, Bound: bound,
-						System: pol.name, Tput: tput, Feasible: ok,
+						System: pol.name, Tput: outsByPol[pi][bi].Tput, Feasible: outsByPol[pi][bi].OK,
 					})
 				}
 			}
@@ -415,17 +424,17 @@ func (c *Context) Figure11() ([]ShiftCell, error) {
 	bound := bounds[1] // bottom 30% (§7.6)
 
 	// Base schedule (WAA only; RRA adapts without re-allocation, §7.6).
-	base, err := d.Sch.FindBest([]sched.Policy{sched.WAAC, sched.WAAM}, bound)
+	// The 30% bound and its 70% fallback share one amortized search.
+	cand, err := d.Sch.FindBestMany([]sched.Policy{sched.WAAC, sched.WAAM},
+		[]float64{bounds[1], bounds[2]})
 	if err != nil {
 		return nil, err
 	}
+	base := cand[0]
 	if !base.Found {
-		// Fall back to the loosest bound if 30% is unreachable for WAA.
+		// Fall back to the looser bound if 30% is unreachable for WAA.
 		bound = bounds[2]
-		base, err = d.Sch.FindBest([]sched.Policy{sched.WAAC, sched.WAAM}, bound)
-		if err != nil {
-			return nil, err
-		}
+		base = cand[1]
 		if !base.Found {
 			return nil, fmt.Errorf("experiments: no feasible WAA schedule for figure 11")
 		}

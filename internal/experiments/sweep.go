@@ -148,12 +148,25 @@ func (c *Context) sweepCell(dep sched.Deployment, task workload.Task, groups [][
 	if err != nil {
 		return nil, err
 	}
+	// Schedule each policy group across every bound in one amortized
+	// multi-bound search before assembling rows in per-bound order.
+	outsByGroup := make([][]RunOutcome, len(groups))
+	for gi, group := range groups {
+		// WAA needs a dedicated decode side; groups that cannot apply
+		// (e.g. WAA with every GPU already required for encode) come
+		// back as not-found outcomes, the paper's "NS".
+		outs, err := d.ScheduleAndRunMany(group, bounds, reqs)
+		if err != nil {
+			return nil, err
+		}
+		outsByGroup[gi] = outs
+	}
 	var rows []SweepRow
 	base := SweepRow{
 		Model: dep.Model.Name, Cluster: dep.Cluster.Name,
 		GPUs: dep.GPUs, Task: task.ID,
 	}
-	for _, bound := range bounds {
+	for bi, bound := range bounds {
 		ftTput, err := d.RunBaseline(baselines.FT, bound, reqs)
 		if err != nil {
 			return nil, err
@@ -161,15 +174,10 @@ func (c *Context) sweepCell(dep sched.Deployment, task workload.Task, groups [][
 		row := base
 		row.Bound, row.System, row.Tput, row.Feasible = bound, "FT", ftTput, ftTput > 0
 		rows = append(rows, row)
-		for _, group := range groups {
-			// WAA needs a dedicated decode side; skip groups that cannot
-			// apply (e.g. WAA with every GPU already required for encode).
-			tput, _, ok, err := d.ScheduleAndRun(group, bound, reqs)
-			if err != nil {
-				return nil, err
-			}
+		for gi, group := range groups {
+			out := outsByGroup[gi][bi]
 			row := base
-			row.Bound, row.System, row.Tput, row.Feasible = bound, policyGroupName(group), tput, ok
+			row.Bound, row.System, row.Tput, row.Feasible = bound, policyGroupName(group), out.Tput, out.OK
 			rows = append(rows, row)
 		}
 	}

@@ -176,12 +176,15 @@ func (c *Context) Table6() ([]CaseRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One amortized search across all four bounds (the schedules are
+	// bit-identical to per-bound FindBest calls).
+	ress, err := d.Sch.FindBestMany([]sched.Policy{sched.RRA, sched.WAAC, sched.WAAM}, bounds)
+	if err != nil {
+		return nil, err
+	}
 	var rows []CaseRow
-	for _, bound := range bounds {
-		res, err := d.Sch.FindBest([]sched.Policy{sched.RRA, sched.WAAC, sched.WAAM}, bound)
-		if err != nil {
-			return nil, err
-		}
+	for bi, bound := range bounds {
+		res := ress[bi]
 		row := CaseRow{Bound: bound}
 		if res.Found {
 			row.Schedule = res.Best.Config.Policy.String()

@@ -311,11 +311,47 @@ func (e *Engine) Run(cfg sched.Config, alloc sched.Allocation, reqs []workload.R
 // rraMicroBatches matches Figure 4(a)'s two interleaved mini-batches.
 const rraMicroBatches = 2
 
+// reqFIFO is an index-cursor FIFO over an immutable request slice.
+// Batches come out as subslices (no copying) and a failed admission
+// rewinds the cursor, so deferred admission is O(1) instead of the old
+// re-prepend (`append(copy(batch[i:]), pending...)`), which copied the
+// whole remaining queue on every stall.
+type reqFIFO struct {
+	items []workload.Request
+	head  int
+}
+
+// newReqFIFO copies reqs once: the backing array must stay immutable
+// while subslices of it are in flight as encode batches.
+func newReqFIFO(reqs []workload.Request) reqFIFO {
+	return reqFIFO{items: append([]workload.Request(nil), reqs...)}
+}
+
+// len returns the number of queued requests.
+func (q *reqFIFO) len() int { return len(q.items) - q.head }
+
+// peek returns the next n queued requests (fewer when the queue is
+// shorter) without consuming them.
+func (q *reqFIFO) peek(n int) []workload.Request {
+	if n > q.len() {
+		n = q.len()
+	}
+	return q.items[q.head : q.head+n]
+}
+
+// advance consumes the first n queued requests.
+func (q *reqFIFO) advance(n int) { q.head += n }
+
+// rewind un-consumes the last n consumed requests; they return to the
+// queue front in their original order (they are still contiguous in
+// the backing array).
+func (q *reqFIFO) rewind(n int) { q.head -= n }
+
 // takeEncodeBatch pops the next encode batch under dynamic workload
 // adjustment (§5.2): the number taken starts from want and is adjusted
 // so that (a) the summed input length stays within Theta of the average
 // workload and (b) the decoder batch is pulled back toward targetBD.
-func (e *Engine) takeEncodeBatch(pending *[]workload.Request, want int, meanIn float64, activeNow, targetBD int) []workload.Request {
+func (e *Engine) takeEncodeBatch(pending *reqFIFO, want int, meanIn float64, activeNow, targetBD int) []workload.Request {
 	if want < 1 {
 		want = 1
 	}
@@ -329,15 +365,12 @@ func (e *Engine) takeEncodeBatch(pending *[]workload.Request, want int, meanIn f
 			take = max(1, take/2)
 		}
 	}
-	if take > len(*pending) {
-		take = len(*pending)
-	}
-	batch := (*pending)[:take]
-	if e.DynamicAdjust && take > 1 {
+	batch := pending.peek(take)
+	if e.DynamicAdjust && len(batch) > 1 {
 		// Trim so the encoder token workload stays within the threshold.
 		budget := float64(want) * meanIn * (1 + e.Theta)
 		tokens := 0
-		cut := take
+		cut := len(batch)
 		for i, r := range batch {
 			if float64(tokens+r.InLen) > budget && i > 0 {
 				cut = i
@@ -347,7 +380,7 @@ func (e *Engine) takeEncodeBatch(pending *[]workload.Request, want int, meanIn f
 		}
 		batch = batch[:cut]
 	}
-	*pending = (*pending)[len(batch):]
+	pending.advance(len(batch))
 	return batch
 }
 
@@ -360,7 +393,7 @@ func (e *Engine) runRRA(cfg sched.Config, alloc sched.Allocation, reqs []workloa
 	res := Result{EncStage: metrics.NewRecorder(), DecStage: metrics.NewRecorder()}
 	rec := metrics.NewRecorder()
 
-	pending := append([]workload.Request(nil), reqs...)
+	pending := newReqFIFO(reqs)
 	var active []*query
 	meanIn := meanInLen(reqs)
 	now := 0.0
@@ -374,18 +407,17 @@ func (e *Engine) runRRA(cfg sched.Config, alloc sched.Allocation, reqs []workloa
 	}
 	var decSamples []decSample
 
-	for len(pending) > 0 || len(active) > 0 {
+	for pending.len() > 0 || len(active) > 0 {
 		// Encoding phase (skipped while draining).
-		if len(pending) > 0 {
+		if pending.len() > 0 {
 			batch := e.takeEncodeBatch(&pending, cfg.BE, meanIn, len(active), cfg.BD)
 			var admitted []workload.Request
 			tokens := 0
 			for i, r := range batch {
 				if err := admit(states, r.ID, e.promptTokens(r)); err != nil {
-					// Out of memory: return the whole unadmitted remainder
-					// to the queue and proceed with what fits.
-					rest := append([]workload.Request(nil), batch[i:]...)
-					pending = append(rest, pending...)
+					// Out of memory: rewind the unadmitted remainder onto
+					// the queue front and proceed with what fits.
+					pending.rewind(len(batch) - i)
 					break
 				}
 				admitted = append(admitted, r)
@@ -407,7 +439,7 @@ func (e *Engine) runRRA(cfg sched.Config, alloc sched.Allocation, reqs []workloa
 				}
 				// Stage-time variance (Table 7) is a steady-state
 				// property: skip the drain tail where batches shrink.
-				if len(pending) > 0 {
+				if pending.len() > 0 {
 					for _, t := range times {
 						res.EncStage.Add(t)
 					}
@@ -433,7 +465,7 @@ func (e *Engine) runRRA(cfg sched.Config, alloc sched.Allocation, reqs []workloa
 			// Stage-time variance (Table 7) is a steady-state property:
 			// skip the drain tail now and the ramp-up in the post-pass
 			// below (the achieved steady batch is only known at the end).
-			if len(pending) > 0 {
+			if pending.len() > 0 {
 				decSamples = append(decSamples, decSample{
 					active: len(active),
 					times:  append([]float64(nil), times...),
@@ -521,7 +553,7 @@ func (e *Engine) runWAA(cfg sched.Config, alloc sched.Allocation, reqs []workloa
 	sim := eventsim.New()
 	sim.MaxSteps = 50_000_000
 
-	pending := append([]workload.Request(nil), reqs...)
+	pending := newReqFIFO(reqs)
 	meanIn := meanInLen(reqs)
 	var active []*query
 	type arrival struct {
@@ -546,7 +578,7 @@ func (e *Engine) runWAA(cfg sched.Config, alloc sched.Allocation, reqs []workloa
 		if runErr != nil {
 			return
 		}
-		if len(pending) == 0 {
+		if pending.len() == 0 {
 			encDone = true
 			if !decoding {
 				iterate()
@@ -599,8 +631,11 @@ func (e *Engine) runWAA(cfg sched.Config, alloc sched.Allocation, reqs []workloa
 		}
 		// Merge arrivals (§4.1: encoded batches merge with previously
 		// decoded data). Arrivals that do not fit yet wait for capacity
-		// freed by completing queries.
-		var waiting []arrival
+		// freed by completing queries. The waiting list compacts in
+		// place (the write index never passes the read index) and
+		// leftover batches stay subslices, so a stalled decoder never
+		// copies queued requests.
+		waiting := inbox[:0]
 		merged := false
 		for _, a := range inbox {
 			i := 0

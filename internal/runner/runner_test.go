@@ -317,3 +317,59 @@ func BenchmarkRunRRA(b *testing.B) {
 		}
 	}
 }
+
+// TestReqFIFO pins the index-cursor queue semantics the encode path
+// relies on: batches come out in order, and a rewind restores the tail
+// of the last batch to the queue front without disturbing order.
+func TestReqFIFO(t *testing.T) {
+	reqs := requests(t, workload.Summarization, 10, 47)
+	q := newReqFIFO(reqs)
+	if q.len() != 10 {
+		t.Fatalf("len = %d, want 10", q.len())
+	}
+	first := q.peek(4)
+	if len(first) != 4 || first[0].ID != reqs[0].ID {
+		t.Fatalf("peek returned %v", first)
+	}
+	q.advance(4)
+	// Admission failed after 1 of the 4: rewind the other 3.
+	q.rewind(3)
+	if q.len() != 9 {
+		t.Fatalf("len after rewind = %d, want 9", q.len())
+	}
+	var got []int
+	for q.len() > 0 {
+		b := q.peek(3)
+		q.advance(len(b))
+		for _, r := range b {
+			got = append(got, r.ID)
+		}
+	}
+	for i, id := range got {
+		if id != reqs[i+1].ID {
+			t.Fatalf("order broken at %d: got %d, want %d", i, id, reqs[i+1].ID)
+		}
+	}
+	// Oversized peek clamps.
+	q2 := newReqFIFO(reqs[:2])
+	if len(q2.peek(100)) != 2 {
+		t.Fatal("peek must clamp to queue length")
+	}
+}
+
+// BenchmarkEngineRun pins the end-to-end engine cost on a KV-pressured
+// deployment: BD far above what memory admits, so every encoding phase
+// exercises the deferred-admission requeue path that used to copy the
+// whole pending queue.
+func BenchmarkEngineRun(b *testing.B) {
+	e := engine(b, model.OPT13B, 4, hw.A40Cluster)
+	reqs := requests(b, workload.Summarization, 1500, 53)
+	alloc := rraAlloc(b, e, sched.TPSpec{Degree: 1})
+	cfg := rraConfig(2048, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(cfg, alloc, reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

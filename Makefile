@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-report clean
+.PHONY: all build test race lint bench bench-report sweep-sharded clean
 
 all: build
 
@@ -14,9 +14,28 @@ test:
 	$(GO) test ./...
 
 # Race-detect the concurrency-critical packages: the parallel scheduler
-# search, the runner engines, and the parallel experiment sweep.
+# search, the runner engines, the parallel experiment sweep, and the
+# multi-process shard pipeline (concurrent shard workers sharing one
+# profile cache).
 race:
-	$(GO) test -race ./internal/core/... ./internal/runner/... ./internal/experiments/... ./internal/par/...
+	$(GO) test -race ./internal/core/... ./internal/runner/... ./internal/experiments/... ./internal/par/... ./internal/distsweep/... ./internal/atomicfile/...
+
+# End-to-end sharded sweep on one box: fork 2 local shard worker
+# processes sharing an on-disk profile cache, merge their envelopes, and
+# require the merged artifact to be byte-identical to the
+# single-process sweep's.
+SHARD_DIR := .shard-demo
+sweep-sharded: build
+	rm -rf $(SHARD_DIR) && mkdir -p $(SHARD_DIR)/profiles
+	./exegpt sweep -quick -models OPT-13B -tasks S,T \
+		-profile-cache $(SHARD_DIR)/profiles -json $(SHARD_DIR)/single.json > /dev/null
+	./exegpt sweep -quick -models OPT-13B -tasks S,T \
+		-profile-cache $(SHARD_DIR)/profiles -shards 2 -spawn \
+		-shard-dir $(SHARD_DIR)/shards -json $(SHARD_DIR)/spawned.json
+	./exegpt merge -json $(SHARD_DIR)/merged.json $(SHARD_DIR)/shards/shard_*.json > /dev/null
+	cmp $(SHARD_DIR)/single.json $(SHARD_DIR)/spawned.json
+	cmp $(SHARD_DIR)/single.json $(SHARD_DIR)/merged.json
+	@echo "sharded sweep == single-process sweep (byte-identical)"
 
 lint:
 	$(GO) vet ./...
@@ -37,3 +56,4 @@ bench-report: build
 
 clean:
 	rm -f exegpt
+	rm -rf $(SHARD_DIR)

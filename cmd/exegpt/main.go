@@ -7,6 +7,10 @@
 //
 //	exegpt search  [flags]   find the best schedule for one deployment
 //	exegpt sweep   [flags]   grid-evaluate deployments x tasks
+//	                         (-shards/-shard-index/-spawn run it sharded
+//	                         across processes)
+//	exegpt merge   [flags]   merge sharded-sweep envelopes into the
+//	                         single-process sweep output
 //	exegpt figures [flags]   regenerate paper figures (6-11)
 //	exegpt tables  [flags]   regenerate paper tables (1-7, cost)
 //	exegpt bench   [flags]   measure the Estimate/FindBest hot paths
@@ -40,6 +44,8 @@ func main() {
 		err = cmdSearch(args)
 	case "sweep":
 		err = cmdSweep(args)
+	case "merge":
+		err = cmdMerge(args)
 	case "figures":
 		err = cmdFigures(args)
 	case "tables":
@@ -65,7 +71,11 @@ func usage() {
 
 Commands:
   search    find the best schedule for one (model, cluster, task) deployment
-  sweep     grid-evaluate deployments x tasks, parallel across deployments
+  sweep     grid-evaluate deployments x tasks, parallel across deployments;
+            -shards N with -shard-index i (worker) or -spawn (fork local
+            workers) shards the grid across processes
+  merge     merge shard envelopes (exegpt sweep -shards ... -out ...) into
+            the single-process sweep output
   figures   regenerate the paper's figures (6, 7, 8, 9, 10, 11)
   tables    regenerate the paper's tables (1-7) and the scheduling-cost study
   bench     measure Estimate/s and FindBest wall time, write BENCH_estimate.json

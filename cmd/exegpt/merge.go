@@ -1,0 +1,46 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"exegpt/internal/distsweep"
+	"exegpt/internal/experiments"
+)
+
+// cmdMerge is the sharded-sweep coordinator: it reads the shard
+// envelopes written by `exegpt sweep -shards N -shard-index i -out ...`
+// workers, verifies they form one complete coherent shard set (same
+// grid fingerprint, every shard and cell exactly once), and prints the
+// merged table — bit-identical to a single-process `exegpt sweep` over
+// the same grid.
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	jsonOut := fs.String("json", "", "write the merged sweep (rows, evals, frontiers) as JSON to this file")
+	fs.Usage = func() {
+		fmt.Fprint(os.Stderr, "usage: exegpt merge [-json merged.json] shard_0.json shard_1.json ...\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		return fmt.Errorf("no shard envelopes given (usage: exegpt merge shard_*.json)")
+	}
+	m, err := distsweep.MergeFiles(paths)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "merge: %d shards -> %d cells, %d schedule evals, grid %.12s\n",
+		len(paths), m.Cells, m.Evals, m.Fingerprint)
+	fmt.Print(experiments.FormatSweep(m.Rows))
+	if *jsonOut != "" {
+		if err := m.WriteFile(*jsonOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "merge: merged JSON -> %s\n", *jsonOut)
+	}
+	return nil
+}

@@ -3,15 +3,29 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
+	"exegpt/internal/distsweep"
 	"exegpt/internal/experiments"
 	"exegpt/internal/sched"
 )
 
 // cmdSweep grid-evaluates deployments x tasks, parallel across
-// deployments.
+// deployments — and, with -shards, across processes:
+//
+//	exegpt sweep                          single process, print the table
+//	exegpt sweep -shards N -shard-index i -out shard_i.json
+//	                                      worker: evaluate one shard,
+//	                                      write its envelope
+//	exegpt sweep -shards N -spawn         coordinator: fork N local
+//	                                      workers, merge, print the table
+//
+// Workers sharing a -profile-cache directory profile each (model,
+// sub-cluster) once between them. The merged output is bit-identical to
+// the single-process sweep (see internal/distsweep).
 func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	newCtx := commonFlags(fs)
@@ -19,14 +33,16 @@ func cmdSweep(args []string) error {
 	gpuList := fs.String("gpus", "", "comma-separated cluster sizes overriding Table 2 (e.g. 4,8,16)")
 	taskList := fs.String("tasks", "", "comma-separated task IDs (default: S,T,G,C1,C2)")
 	policySet := fs.String("policies", "all", "policy set: rra, waa or all")
+	shards := fs.Int("shards", 1, "split the sweep into this many round-robin shards")
+	shardIndex := fs.Int("shard-index", -1, "worker mode: evaluate only this shard and write its envelope to -out")
+	outPath := fs.String("out", "", "worker mode: shard envelope output path (required with -shard-index)")
+	spawn := fs.Bool("spawn", false, "coordinator mode: fork one local worker process per shard, merge, print the table")
+	shardDir := fs.String("shard-dir", "", "with -spawn: directory for shard envelopes (default: a temp dir, removed after the merge)")
+	jsonOut := fs.String("json", "", "write the merged sweep (rows, evals, frontiers) as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	models, err := modelsByNames(*modelList)
-	if err != nil {
-		return err
-	}
 	tasks, err := tasksByIDs(*taskList)
 	if err != nil {
 		return err
@@ -35,15 +51,153 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return err
 	}
+	deps, err := sweepDeployments(*modelList, *gpuList)
+	if err != nil {
+		return err
+	}
 
-	// Build the deployment grid: each model on its Table 2 cluster, at
-	// its Table 2 GPU count or at every size in -gpus.
+	ctx := newCtx()
+	grid := experiments.SweepGrid{
+		Deployments: deps,
+		Tasks:       tasks,
+		Policies:    groups,
+		Workers:     ctx.Workers,
+	}
+	fp, err := ctx.GridFingerprint(grid)
+	if err != nil {
+		return err
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards %d < 1", *shards)
+	}
+
+	switch {
+	case *shardIndex >= 0:
+		if *spawn {
+			return fmt.Errorf("-shard-index and -spawn are mutually exclusive")
+		}
+		if *outPath == "" {
+			return fmt.Errorf("worker mode needs -out for the shard envelope")
+		}
+		cells, err := ctx.SweepShard(grid, *shards, *shardIndex)
+		if err != nil {
+			return err
+		}
+		env := distsweep.NewEnvelope(fp, *shards, *shardIndex, cells)
+		if err := env.WriteFile(*outPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sweep: shard %d/%d: %d cells -> %s\n",
+			*shardIndex, *shards, len(cells), *outPath)
+		return nil
+
+	case *spawn:
+		dir := *shardDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "exegpt-shards-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		if ctx.ProfileCacheDir == "" {
+			// Workers re-profile from scratch without a shared cache;
+			// give them one so each (model, sub-cluster) profiles once.
+			ctx.ProfileCacheDir = dir
+		}
+		bin, err := os.Executable()
+		if err != nil {
+			return err
+		}
+		// All shard workers run on this box: split the worker budget
+		// across them instead of multiplying the two parallelism
+		// levels, mirroring what the in-process sweep does for its
+		// cell/scheduler levels. (Worker counts never change results,
+		// only wall time.)
+		budget := ctx.Workers
+		if budget <= 0 {
+			budget = runtime.GOMAXPROCS(0)
+		}
+		perWorker := budget / *shards
+		if perWorker < 1 {
+			perWorker = 1
+		}
+		base := []string{"sweep",
+			"-seed", strconv.FormatInt(ctx.Seed, 10),
+			"-workers", strconv.Itoa(perWorker),
+			"-requests", strconv.Itoa(ctx.Requests),
+			"-profile-cache", ctx.ProfileCacheDir,
+			"-models", *modelList,
+			"-gpus", *gpuList,
+			"-tasks", *taskList,
+			"-policies", *policySet,
+		}
+		if ctx.Quick {
+			base = append(base, "-quick")
+		}
+		fmt.Fprintf(os.Stderr, "sweep: spawning %d shard workers (envelopes in %s)\n", *shards, dir)
+		paths, err := distsweep.SpawnLocal(bin, base, *shards, dir)
+		if err != nil {
+			return err
+		}
+		merged, err := distsweep.MergeFiles(paths)
+		if err != nil {
+			return err
+		}
+		if merged.Fingerprint != fp {
+			return fmt.Errorf("worker fingerprint %.12s… differs from coordinator %.12s… (flag plumbing drift?)",
+				merged.Fingerprint, fp)
+		}
+		return printMerged(merged, grid, *jsonOut)
+
+	default:
+		if *shards > 1 {
+			return fmt.Errorf("-shards %d needs either -spawn (fork local workers) or -shard-index (run as one worker)", *shards)
+		}
+		cells, err := ctx.SweepShard(grid, 1, 0)
+		if err != nil {
+			return err
+		}
+		// Route the single-process result through the same envelope +
+		// merge path the sharded run uses, so the two artifacts are
+		// byte-identical by construction.
+		merged, err := distsweep.Merge([]*distsweep.Envelope{distsweep.NewEnvelope(fp, 1, 0, cells)})
+		if err != nil {
+			return err
+		}
+		return printMerged(merged, grid, *jsonOut)
+	}
+}
+
+// printMerged prints the sweep header + table and optionally writes the
+// merged JSON artifact.
+func printMerged(m *distsweep.Merged, grid experiments.SweepGrid, jsonOut string) error {
+	fmt.Printf("sweep: %d cells (%d deployments), %d schedule evals, grid %.12s\n",
+		m.Cells, len(grid.Deployments), m.Evals, m.Fingerprint)
+	fmt.Print(experiments.FormatSweep(m.Rows))
+	if jsonOut != "" {
+		if err := m.WriteFile(jsonOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sweep: merged JSON -> %s\n", jsonOut)
+	}
+	return nil
+}
+
+// sweepDeployments builds the deployment grid: each model on its
+// Table 2 cluster, at its Table 2 GPU count or at every size in -gpus.
+func sweepDeployments(modelList, gpuList string) ([]sched.Deployment, error) {
+	models, err := modelsByNames(modelList)
+	if err != nil {
+		return nil, err
+	}
 	var sizes []int
-	if *gpuList != "" {
-		for _, s := range strings.Split(*gpuList, ",") {
+	if gpuList != "" {
+		for _, s := range strings.Split(gpuList, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil || n < 1 {
-				return fmt.Errorf("bad -gpus entry %q", s)
+				return nil, fmt.Errorf("bad -gpus entry %q", s)
 			}
 			sizes = append(sizes, n)
 		}
@@ -52,7 +206,7 @@ func cmdSweep(args []string) error {
 	for _, m := range models {
 		dep, err := sched.DeploymentFor(m.Name)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if len(sizes) == 0 {
 			deps = append(deps, dep)
@@ -68,21 +222,7 @@ func cmdSweep(args []string) error {
 		}
 	}
 	if len(deps) == 0 {
-		return fmt.Errorf("no deployments selected (every -gpus size exceeds its cluster?)")
+		return nil, fmt.Errorf("no deployments selected (every -gpus size exceeds its cluster?)")
 	}
-
-	ctx := newCtx()
-	fmt.Printf("sweep: %d deployments x %d tasks, %d requests/run, seed %d\n",
-		len(deps), len(tasks), ctx.Requests, ctx.Seed)
-	rows, err := ctx.Sweep(experiments.SweepGrid{
-		Deployments: deps,
-		Tasks:       tasks,
-		Policies:    groups,
-		Workers:     ctx.Workers,
-	})
-	if err != nil {
-		return err
-	}
-	fmt.Print(experiments.FormatSweep(rows))
-	return nil
+	return deps, nil
 }

@@ -1,0 +1,73 @@
+package atomicfile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestWriteCreatesDirAndFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "f.json")
+	if err := Write(path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	// Overwrite replaces the content and leaves no temp droppings.
+	if err := Write(path, []byte("world"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || strings.Contains(entries[0].Name(), ".tmp") {
+		t.Fatalf("directory not clean after overwrite: %v", entries)
+	}
+}
+
+// TestWriteConcurrentReadersNeverSeeTornFiles hammers one path with
+// writers of two distinct payloads while readers poll: every read must
+// be one payload or the other in full (run under -race).
+func TestWriteConcurrentReadersNeverSeeTornFiles(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.bin")
+	a := []byte(strings.Repeat("A", 1<<16))
+	b := []byte(strings.Repeat("B", 1<<16))
+	if err := Write(path, a, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w, payload := range [][]byte{a, b} {
+		wg.Add(1)
+		go func(w int, payload []byte) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := Write(path, payload, 0o644); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w, payload)
+	}
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != 1<<16 || (data[0] != 'A' && data[0] != 'B') ||
+			data[0] != data[len(data)-1] {
+			t.Fatalf("torn read: %d bytes, first %q last %q", len(data), data[0], data[len(data)-1])
+		}
+	}
+}

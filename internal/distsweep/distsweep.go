@@ -1,0 +1,295 @@
+// Package distsweep shards the evaluation sweep across processes.
+//
+// A sweep grid flattens into a canonical cell list
+// (experiments.SweepGrid.Cells); worker processes each evaluate one
+// round-robin partition of it (experiments.Context.SweepShard) and
+// write their cells into a versioned JSON Envelope. A coordinator reads
+// the envelopes, checks that they form exactly one complete, coherent
+// shard set — same format version, same grid fingerprint, same shard
+// count, every shard present exactly once, every cell covered exactly
+// once — and merges them into the rows, eval counts and per-deployment
+// Pareto frontiers a single-process Sweep produces, bit-identically.
+//
+// The rows come back by concatenating cells in grid order. The
+// frontiers come back by folding every cell's per-policy-group frontier
+// into one core.Frontier per (model, cluster, GPUs, policy group) —
+// the cross-task latency→throughput envelope of that deployment —
+// which is well-defined because Frontier.Merge is order-independent.
+package distsweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"exegpt/internal/atomicfile"
+	"exegpt/internal/core"
+	"exegpt/internal/experiments"
+)
+
+// EnvelopeVersion is the shard envelope format version. The coordinator
+// refuses envelopes written by a different version rather than guessing
+// at field semantics.
+const EnvelopeVersion = 1
+
+// Envelope is the versioned result one sweep worker process writes: the
+// cells of one shard, stamped with enough metadata for the coordinator
+// to reject mismatched or incomplete shard sets.
+type Envelope struct {
+	Version int `json:"version"`
+	// Fingerprint identifies the (grid, context) the shard was cut
+	// from (experiments.Context.GridFingerprint). Envelopes only merge
+	// with envelopes carrying the same fingerprint.
+	Fingerprint string `json:"fingerprint"`
+	// Shards is the total shard count of the partition; Shard is this
+	// worker's index in 0..Shards-1. Cell i belongs to shard i%Shards.
+	Shards int `json:"shards"`
+	Shard  int `json:"shard"`
+	// Cells are the shard's evaluated cells in grid order. Empty when
+	// the grid has fewer cells than shards.
+	Cells []experiments.CellResult `json:"cells"`
+}
+
+// NewEnvelope stamps a shard's cell results for the coordinator.
+func NewEnvelope(fingerprint string, shards, shard int, cells []experiments.CellResult) *Envelope {
+	return &Envelope{
+		Version: EnvelopeVersion, Fingerprint: fingerprint,
+		Shards: shards, Shard: shard, Cells: cells,
+	}
+}
+
+// validate checks the envelope's internal consistency.
+func (e *Envelope) validate() error {
+	if e.Version != EnvelopeVersion {
+		return fmt.Errorf("distsweep: envelope version %d, this build reads %d", e.Version, EnvelopeVersion)
+	}
+	if e.Fingerprint == "" {
+		return fmt.Errorf("distsweep: envelope missing grid fingerprint")
+	}
+	if e.Shards < 1 {
+		return fmt.Errorf("distsweep: envelope shard count %d < 1", e.Shards)
+	}
+	if e.Shard < 0 || e.Shard >= e.Shards {
+		return fmt.Errorf("distsweep: envelope shard index %d out of range 0..%d", e.Shard, e.Shards-1)
+	}
+	seen := make(map[int]bool, len(e.Cells))
+	for _, c := range e.Cells {
+		if c.Cell < 0 {
+			return fmt.Errorf("distsweep: negative cell index %d", c.Cell)
+		}
+		if c.Cell%e.Shards != e.Shard {
+			return fmt.Errorf("distsweep: cell %d does not belong to shard %d of %d", c.Cell, e.Shard, e.Shards)
+		}
+		if seen[c.Cell] {
+			return fmt.Errorf("distsweep: duplicate cell %d in shard %d", c.Cell, e.Shard)
+		}
+		seen[c.Cell] = true
+	}
+	return nil
+}
+
+// Encode renders the envelope as indented JSON with a trailing newline.
+func (e *Envelope) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Decode parses and validates an envelope. Truncated or otherwise
+// corrupt JSON, an unknown format version, and internally inconsistent
+// shard metadata all fail with a descriptive error.
+func Decode(data []byte) (*Envelope, error) {
+	var e Envelope
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("distsweep: corrupt shard envelope: %w", err)
+	}
+	if err := e.validate(); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// ReadFile loads one shard envelope from disk.
+func ReadFile(path string) (*Envelope, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("distsweep: read shard: %w", err)
+	}
+	e, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return e, nil
+}
+
+// WriteFile atomically writes the envelope to path (temp file + rename
+// via atomicfile, so a concurrently started coordinator never observes
+// a torn shard).
+func (e *Envelope) WriteFile(path string) error {
+	data, err := e.Encode()
+	if err != nil {
+		return err
+	}
+	return atomicfile.Write(path, data, 0o644)
+}
+
+// DeploymentFrontier is the merged cross-task Pareto frontier of one
+// (deployment, policy group): every feasible (latency, throughput)
+// point any task's schedule search discovered on that hardware with
+// that policy family, Pareto-reduced.
+type DeploymentFrontier struct {
+	Model    string        `json:"model"`
+	Cluster  string        `json:"cluster"`
+	GPUs     int           `json:"gpus"`
+	Group    string        `json:"group"`
+	Frontier core.Frontier `json:"frontier"`
+}
+
+// Merged is the coordinator's output: exactly what a single-process
+// sweep over the same grid produces. Rows are in grid order; Evals is
+// the total schedule-search evaluation count; Frontiers are sorted by
+// (model, cluster, GPUs, group). It deliberately omits the shard count,
+// so the merged artifact of an N-shard run is byte-identical to a
+// single-process run's.
+type Merged struct {
+	Fingerprint string                 `json:"fingerprint"`
+	Cells       int                    `json:"cells"`
+	Evals       int                    `json:"evals"`
+	Rows        []experiments.SweepRow `json:"rows"`
+	Frontiers   []DeploymentFrontier   `json:"frontiers"`
+}
+
+// Encode renders the merged sweep as indented JSON with a trailing
+// newline. The encoding is deterministic: no maps, and every float
+// round-trips bit-exactly.
+func (m *Merged) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile atomically writes the merged sweep to path.
+func (m *Merged) WriteFile(path string) error {
+	data, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	return atomicfile.Write(path, data, 0o644)
+}
+
+// Merge folds a complete shard set into one sweep result. It fails —
+// rather than silently merging — when the envelopes disagree on format
+// version, fingerprint or shard count, when a shard index is duplicated
+// or missing, or when the union of cells is not exactly the contiguous
+// grid 0..len-1.
+func Merge(envs []*Envelope) (*Merged, error) {
+	if len(envs) == 0 {
+		return nil, fmt.Errorf("distsweep: no shard envelopes to merge")
+	}
+	for _, e := range envs {
+		if err := e.validate(); err != nil {
+			return nil, err
+		}
+	}
+	ref := envs[0]
+	byShard := make(map[int]bool, len(envs))
+	for _, e := range envs {
+		if e.Fingerprint != ref.Fingerprint {
+			return nil, fmt.Errorf("distsweep: grid fingerprint mismatch: shard %d has %.12s…, shard %d has %.12s…",
+				ref.Shard, ref.Fingerprint, e.Shard, e.Fingerprint)
+		}
+		if e.Shards != ref.Shards {
+			return nil, fmt.Errorf("distsweep: shard count mismatch: %d vs %d", ref.Shards, e.Shards)
+		}
+		if byShard[e.Shard] {
+			return nil, fmt.Errorf("distsweep: duplicate shard index %d", e.Shard)
+		}
+		byShard[e.Shard] = true
+	}
+	if len(envs) != ref.Shards {
+		var missing []int
+		for i := 0; i < ref.Shards; i++ {
+			if !byShard[i] {
+				missing = append(missing, i)
+			}
+		}
+		return nil, fmt.Errorf("distsweep: incomplete shard set: have %d of %d, missing %v",
+			len(envs), ref.Shards, missing)
+	}
+
+	var cells []experiments.CellResult
+	for _, e := range envs {
+		cells = append(cells, e.Cells...)
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Cell < cells[j].Cell })
+	for i, c := range cells {
+		// Per-envelope validation already rejected duplicates within a
+		// shard and cells outside a shard's partition, so a gap or
+		// cross-shard duplicate surfaces here as an index mismatch.
+		if c.Cell != i {
+			return nil, fmt.Errorf("distsweep: cell coverage broken at grid index %d (found cell %d): shard workers did not cover the grid exactly once", i, c.Cell)
+		}
+	}
+
+	m := &Merged{Fingerprint: ref.Fingerprint, Cells: len(cells)}
+	type key struct {
+		model, cluster string
+		gpus           int
+		group          string
+	}
+	frontiers := map[key]*core.Frontier{}
+	var order []key
+	for _, c := range cells {
+		m.Evals += c.Evals
+		m.Rows = append(m.Rows, c.Rows...)
+		for i := range c.Frontiers {
+			gf := &c.Frontiers[i]
+			k := key{model: gf.Model, cluster: gf.Cluster, gpus: gf.GPUs, group: gf.Group}
+			f, ok := frontiers[k]
+			if !ok {
+				f = &core.Frontier{}
+				frontiers[k] = f
+				order = append(order, k)
+			}
+			f.Merge(&gf.Frontier)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.model != b.model {
+			return a.model < b.model
+		}
+		if a.cluster != b.cluster {
+			return a.cluster < b.cluster
+		}
+		if a.gpus != b.gpus {
+			return a.gpus < b.gpus
+		}
+		return a.group < b.group
+	})
+	for _, k := range order {
+		m.Frontiers = append(m.Frontiers, DeploymentFrontier{
+			Model: k.model, Cluster: k.cluster, GPUs: k.gpus, Group: k.group,
+			Frontier: *frontiers[k],
+		})
+	}
+	return m, nil
+}
+
+// MergeFiles reads every path as a shard envelope and merges the set.
+func MergeFiles(paths []string) (*Merged, error) {
+	envs := make([]*Envelope, 0, len(paths))
+	for _, p := range paths {
+		e, err := ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		envs = append(envs, e)
+	}
+	return Merge(envs)
+}

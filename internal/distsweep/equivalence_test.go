@@ -1,0 +1,185 @@
+package distsweep
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"exegpt/internal/experiments"
+	"exegpt/internal/hw"
+	"exegpt/internal/model"
+	"exegpt/internal/sched"
+	"exegpt/internal/workload"
+)
+
+// equivGrid is a small real grid: 3 cells, so shard counts 2 and 3
+// interleave cells across shards and shard count 7 leaves shards empty.
+func equivGrid() experiments.SweepGrid {
+	return experiments.SweepGrid{
+		Deployments: []sched.Deployment{
+			{Model: model.OPT13B, Cluster: hw.A40Cluster, GPUs: 4},
+		},
+		Tasks: []workload.Task{workload.Summarization, workload.Translation, workload.CodeGeneration},
+	}
+}
+
+// shardCtx builds the context a worker process would: fresh state, only
+// the on-disk profile cache shared with the other workers.
+func shardCtx(cacheDir string) *experiments.Context {
+	c := experiments.NewQuickContext()
+	c.ProfileCacheDir = cacheDir
+	return c
+}
+
+// runShardSet evaluates every shard of the grid with an independent
+// context (one per "process") and round-trips each result through the
+// JSON envelope, exactly as the multi-process pipeline does.
+func runShardSet(t *testing.T, grid experiments.SweepGrid, cacheDir string, shards int) []*Envelope {
+	t.Helper()
+	envs := make([]*Envelope, shards)
+	for s := 0; s < shards; s++ {
+		ctx := shardCtx(cacheDir)
+		fp, err := ctx.GridFingerprint(grid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells, err := ctx.SweepShard(grid, shards, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := NewEnvelope(fp, shards, s, cells).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		envs[s] = env
+	}
+	return envs
+}
+
+// TestShardedSweepEquivalence: for shard counts 1, 2, 3 and 7 (3 cells,
+// so nothing divides evenly and 7 leaves four shards empty), the merged
+// shard set is bit-identical to a single-process Sweep — row order,
+// per-cell Evals and frontiers included — down to the serialized bytes.
+func TestShardedSweepEquivalence(t *testing.T) {
+	grid := equivGrid()
+	cacheDir := t.TempDir()
+
+	single := shardCtx(cacheDir)
+	fp, err := single.GridFingerprint(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleCells, err := single.SweepShard(grid, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Merge([]*Envelope{NewEnvelope(fp, 1, 0, singleCells)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := want.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The legacy entry point must agree with the cell list it now wraps.
+	legacyRows, err := shardCtx(cacheDir).Sweep(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacyRows, want.Rows) {
+		t.Fatal("Sweep rows diverge from merged SweepShard rows")
+	}
+	if len(want.Rows) == 0 || want.Evals == 0 || len(want.Frontiers) == 0 {
+		t.Fatalf("degenerate single-process result: %d rows, %d evals, %d frontiers",
+			len(want.Rows), want.Evals, len(want.Frontiers))
+	}
+
+	for _, shards := range []int{1, 2, 3, 7} {
+		envs := runShardSet(t, grid, cacheDir, shards)
+		got, err := Merge(envs)
+		if err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%d shards: merged result diverges from single-process sweep", shards)
+		}
+		gotBytes, err := got.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotBytes, wantBytes) {
+			t.Fatalf("%d shards: merged JSON not byte-identical to single-process JSON", shards)
+		}
+		// Cell-level equivalence, not just the merged aggregate: the
+		// union of shard cells is exactly the single-process cell list.
+		var cells []experiments.CellResult
+		for _, e := range envs {
+			cells = append(cells, e.Cells...)
+		}
+		sort.Slice(cells, func(i, j int) bool { return cells[i].Cell < cells[j].Cell })
+		if !reflect.DeepEqual(cells, singleCells) {
+			t.Fatalf("%d shards: per-cell results diverge from single process", shards)
+		}
+	}
+}
+
+// TestShardWorkersShareProfileCacheConcurrently: concurrent shard
+// evaluations with independent contexts and one shared ProfileCacheDir
+// — the in-process analog of two worker processes on one box — must be
+// race-free (run under -race) and still merge bit-identically.
+func TestShardWorkersShareProfileCacheConcurrently(t *testing.T) {
+	grid := equivGrid()
+	sharedDir := t.TempDir()
+	const shards = 2
+
+	fp, err := shardCtx(sharedDir).GridFingerprint(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envs := make([]*Envelope, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			cells, err := shardCtx(sharedDir).SweepShard(grid, shards, s)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			envs[s] = NewEnvelope(fp, shards, s, cells)
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+	}
+	got, err := Merge(envs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference result from a separate cache to prove the shared,
+	// possibly racy-written cache changed nothing.
+	refCells, err := shardCtx(t.TempDir()).SweepShard(grid, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Merge([]*Envelope{NewEnvelope(fp, 1, 0, refCells)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("concurrent shared-cache shards diverge from the reference sweep")
+	}
+}

@@ -1,0 +1,55 @@
+// Local process spawning: the -spawn convenience mode of `exegpt
+// sweep`, which forks one worker process per shard on this machine so a
+// sharded sweep runs end to end on one box. Multi-host dispatch (ssh, a
+// job scheduler) stays with the operator: workers are plain processes
+// that only need the binary, the flags and a shared profile cache.
+package distsweep
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+)
+
+// SpawnLocal forks one worker process per shard — `bin baseArgs...
+// -shards N -shard-index i -out outDir/shard_i.json` — waits for all of
+// them, and returns the shard envelope paths in index order. Worker
+// output goes to this process's stderr. All workers are always waited
+// for; the returned error joins every failure.
+func SpawnLocal(bin string, baseArgs []string, shards int, outDir string) ([]string, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("distsweep: shard count %d < 1", shards)
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return nil, err
+	}
+	paths := make([]string, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		paths[i] = filepath.Join(outDir, fmt.Sprintf("shard_%d.json", i))
+		args := append(append([]string(nil), baseArgs...),
+			"-shards", strconv.Itoa(shards),
+			"-shard-index", strconv.Itoa(i),
+			"-out", paths[i])
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		wg.Add(1)
+		go func(i int, cmd *exec.Cmd) {
+			defer wg.Done()
+			if err := cmd.Run(); err != nil {
+				errs[i] = fmt.Errorf("distsweep: shard worker %d: %w", i, err)
+			}
+		}(i, cmd)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return paths, nil
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 
+	"exegpt/internal/atomicfile"
 	"exegpt/internal/baselines"
 	"exegpt/internal/core"
 	"exegpt/internal/hw"
@@ -164,16 +165,17 @@ func (c *Context) profileFor(m model.Model, sub hw.Cluster) (*profile.Table, err
 	return e.tab, e.err
 }
 
-// saveProfile writes a freshly profiled table to the cache.
+// saveProfile writes a freshly profiled table to the cache atomically:
+// the cache directory is shared by concurrent sweep worker processes,
+// and a reader racing a plain truncate-then-write could observe a torn
+// file. With atomicfile.Write, a concurrent loadCachedProfile sees
+// either the old complete table or the new one, never a partial write.
 func saveProfile(path string, tab *profile.Table) error {
 	data, err := tab.Encode()
 	if err != nil {
 		return err
 	}
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
-	return os.WriteFile(path, data, 0o644)
+	return atomicfile.Write(path, data, 0o644)
 }
 
 // Deploy sets up a deployment for a model on gpus of cluster running

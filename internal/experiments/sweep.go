@@ -1,16 +1,28 @@
 // Sweep: a grid evaluation over deployments (model × cluster size) and
-// tasks, parallel across deployments. Each (deployment, task) cell gets
-// its own Simulator, Scheduler and runner Engine, so cells are
+// tasks, parallel across deployments. The grid flattens into an
+// enumerable cell list in canonical (deployment, task) order; each cell
+// gets its own Simulator, Scheduler and runner Engine, so cells are
 // independent; only the memoized profile Table is shared, and that is
 // immutable once built. Results are reduced in grid order, so the
 // output is deterministic regardless of which worker finishes first.
+//
+// The same cell list is the unit of multi-process sharding: SweepShard
+// evaluates the cells whose index falls in one round-robin partition,
+// and internal/distsweep merges per-shard results back into exactly the
+// rows a single-process Sweep produces (GridFingerprint guards against
+// mixing shards from different grids or contexts).
 package experiments
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"runtime"
+	"strconv"
 
 	"exegpt/internal/baselines"
+	"exegpt/internal/core"
 	"exegpt/internal/par"
 	"exegpt/internal/sched"
 	"exegpt/internal/workload"
@@ -43,6 +55,107 @@ type SweepGrid struct {
 	Workers int
 }
 
+// resolved returns the grid with every defaulted field filled in, so
+// that enumeration, sharding and fingerprinting all see the same grid
+// whether it was spelled out or left to the defaults.
+func (g SweepGrid) resolved() ([]sched.Deployment, []workload.Task, [][]sched.Policy) {
+	deps := g.Deployments
+	if len(deps) == 0 {
+		deps = sched.DefaultDeployments
+	}
+	tasks := g.Tasks
+	if len(tasks) == 0 {
+		tasks = workload.Tasks
+	}
+	groups := g.Policies
+	if len(groups) == 0 {
+		groups = defaultPolicyGroups()
+	}
+	return deps, tasks, groups
+}
+
+// SweepCell is one enumerable (deployment, task) cell of a grid. Index
+// is the cell's position in canonical (deployment, task) order; shard
+// partitioning and result merging are both keyed on it.
+type SweepCell struct {
+	Index int
+	Dep   sched.Deployment
+	Task  workload.Task
+}
+
+// Cells flattens the grid into its canonical cell list.
+func (g SweepGrid) Cells() []SweepCell {
+	deps, tasks, _ := g.resolved()
+	cells := make([]SweepCell, 0, len(deps)*len(tasks))
+	for _, dep := range deps {
+		for _, task := range tasks {
+			cells = append(cells, SweepCell{Index: len(cells), Dep: dep, Task: task})
+		}
+	}
+	return cells
+}
+
+// GroupFrontier is the latency→throughput Pareto frontier one policy
+// group's schedule search discovered on one cell. Frontiers for the
+// same (deployment, group) merge order-independently across cells and
+// shards via core.Frontier.Merge.
+type GroupFrontier struct {
+	Model    string        `json:"model"`
+	Cluster  string        `json:"cluster"`
+	GPUs     int           `json:"gpus"`
+	Task     string        `json:"task"`
+	Group    string        `json:"group"`
+	Frontier core.Frontier `json:"frontier"`
+}
+
+// CellResult is everything one evaluated cell contributes to a sweep:
+// its rows in bound-major order, the schedule-search evaluation count
+// (the §7.7 cost metric — deterministic, so shard merges can be checked
+// bit-identical against a single-process run), and the per-group
+// frontiers.
+type CellResult struct {
+	Cell      int             `json:"cell"`
+	Rows      []SweepRow      `json:"rows"`
+	Evals     int             `json:"evals"`
+	Frontiers []GroupFrontier `json:"frontiers"`
+}
+
+// GridFingerprint hashes everything that determines a sweep's output:
+// the resolved grid (deployments, tasks, policy groups) and the
+// context's sampling/search settings. Two runs agree on the fingerprint
+// iff their shard results can be merged into one coherent sweep.
+// Worker counts and cache paths are deliberately excluded: they change
+// only wall time, never results.
+func (c *Context) GridFingerprint(grid SweepGrid) (string, error) {
+	deps, tasks, groups := grid.resolved()
+	type depKey struct {
+		Model   string
+		Cluster string
+		GPUs    int
+	}
+	desc := struct {
+		Seed        int64
+		Requests    int
+		Quick       bool
+		Deployments []depKey
+		Tasks       []string
+		Policies    [][]sched.Policy
+	}{Seed: c.Seed, Requests: c.Requests, Quick: c.Quick, Policies: groups}
+	for _, d := range deps {
+		desc.Deployments = append(desc.Deployments,
+			depKey{Model: d.Model.Name, Cluster: d.Cluster.Name, GPUs: d.GPUs})
+	}
+	for _, t := range tasks {
+		desc.Tasks = append(desc.Tasks, t.ID)
+	}
+	data, err := json.Marshal(desc)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
 // policyGroupName labels a policy group the way the figures do.
 func policyGroupName(ps []sched.Policy) string {
 	for _, p := range ps {
@@ -63,41 +176,53 @@ func defaultPolicyGroups() [][]sched.Policy {
 }
 
 // Sweep evaluates FT plus every requested ExeGPT policy group on every
-// (deployment, task) cell under the FT-derived latency bounds. Cells
-// run concurrently on a bounded worker pool: the grid is flattened in
-// canonical (deployment, task) order, each cell appends only to its own
-// slot, and rows are concatenated in grid order afterwards.
+// (deployment, task) cell under the FT-derived latency bounds. It is
+// the single-shard case of SweepShard with the per-cell metadata
+// flattened away.
 func (c *Context) Sweep(grid SweepGrid) ([]SweepRow, error) {
-	deps := grid.Deployments
-	if len(deps) == 0 {
-		deps = sched.DefaultDeployments
+	cells, err := c.SweepShard(grid, 1, 0)
+	if err != nil {
+		return nil, err
 	}
-	tasks := grid.Tasks
-	if len(tasks) == 0 {
-		tasks = workload.Tasks
+	var rows []SweepRow
+	for _, cr := range cells {
+		rows = append(rows, cr.Rows...)
 	}
-	groups := grid.Policies
-	if len(groups) == 0 {
-		groups = defaultPolicyGroups()
-	}
+	return rows, nil
+}
 
-	type cell struct {
-		dep  sched.Deployment
-		task workload.Task
+// SweepShard evaluates the shard'th of shards round-robin partitions of
+// the grid's cell list: cell i belongs to shard i%shards. Shards are
+// disjoint and cover the grid, so concatenating the CellResults of all
+// shards in cell order reproduces a single-process Sweep exactly —
+// rows, Evals and frontiers included (every cell is evaluated
+// independently and all search results are deterministic across worker
+// counts). Cells run concurrently on a bounded worker pool: each cell
+// appends only to its own slot, and results return in cell order.
+func (c *Context) SweepShard(grid SweepGrid, shards, shard int) ([]CellResult, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("experiments: shard count %d < 1", shards)
 	}
-	var cells []cell
-	for _, dep := range deps {
-		for _, task := range tasks {
-			cells = append(cells, cell{dep: dep, task: task})
+	if shard < 0 || shard >= shards {
+		return nil, fmt.Errorf("experiments: shard index %d out of range 0..%d", shard, shards-1)
+	}
+	_, _, groups := grid.resolved()
+	var mine []SweepCell
+	for _, cl := range grid.Cells() {
+		if cl.Index%shards == shard {
+			mine = append(mine, cl)
 		}
+	}
+	if len(mine) == 0 {
+		return nil, nil
 	}
 
 	workers := grid.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(cells) {
-		workers = len(cells)
+	if workers > len(mine) {
+		workers = len(mine)
 	}
 	// Split the worker budget across the two parallelism levels instead
 	// of multiplying them: `workers` cells run concurrently, and each
@@ -110,46 +235,47 @@ func (c *Context) Sweep(grid SweepGrid) ([]SweepRow, error) {
 		}
 	}
 
-	results := make([][]SweepRow, len(cells))
-	errs := make([]error, len(cells))
-	par.ForEach(len(cells), workers, func(i int) {
-		cl := cells[i]
-		results[i], errs[i] = c.sweepCell(cl.dep, cl.task, groups, schedWorkers)
+	results := make([]CellResult, len(mine))
+	errs := make([]error, len(mine))
+	par.ForEach(len(mine), workers, func(i int) {
+		results[i], errs[i] = c.sweepCell(mine[i], groups, schedWorkers)
 	})
-
-	var rows []SweepRow
-	for i := range cells {
+	for i := range mine {
 		if errs[i] != nil {
 			return nil, fmt.Errorf("experiments: sweep %s/%s on %d GPUs: %w",
-				cells[i].dep.Model.Name, cells[i].task.ID, cells[i].dep.GPUs, errs[i])
+				mine[i].Dep.Model.Name, mine[i].Task.ID, mine[i].Dep.GPUs, errs[i])
 		}
-		rows = append(rows, results[i]...)
 	}
-	return rows, nil
+	return results, nil
 }
 
 // sweepCell measures one (deployment, task) cell across its bounds.
 // schedWorkers overrides the cell scheduler's pool size so the sweep
 // controls the total parallelism budget.
-func (c *Context) sweepCell(dep sched.Deployment, task workload.Task, groups [][]sched.Policy, schedWorkers int) ([]SweepRow, error) {
+func (c *Context) sweepCell(cl SweepCell, groups [][]sched.Policy, schedWorkers int) (CellResult, error) {
+	cr := CellResult{Cell: cl.Index}
+	dep, task := cl.Dep, cl.Task
 	d, err := c.Deploy(dep.Model, dep.Cluster, dep.GPUs, task)
 	if err != nil {
-		return nil, err
+		return cr, err
 	}
 	d.Sch.Workers = schedWorkers
 	bounds, err := d.FTBounds()
 	if err != nil {
-		return nil, err
+		return cr, err
 	}
 	if c.Quick {
 		bounds = []float64{bounds[1], bounds[3]}
 	}
 	reqs, err := c.RequestStream(task, 0)
 	if err != nil {
-		return nil, err
+		return cr, err
 	}
 	// Schedule each policy group across every bound in one amortized
 	// multi-bound search before assembling rows in per-bound order.
+	// Each search leaves its eval count and merged Pareto frontier on
+	// the scheduler; the cell carries both so shard merges can be
+	// verified against (and aggregated like) a single-process run.
 	outsByGroup := make([][]RunOutcome, len(groups))
 	for gi, group := range groups {
 		// WAA needs a dedicated decode side; groups that cannot apply
@@ -157,11 +283,15 @@ func (c *Context) sweepCell(dep sched.Deployment, task workload.Task, groups [][
 		// back as not-found outcomes, the paper's "NS".
 		outs, err := d.ScheduleAndRunMany(group, bounds, reqs)
 		if err != nil {
-			return nil, err
+			return cr, err
 		}
 		outsByGroup[gi] = outs
+		cr.Evals += d.Sch.Evals
+		cr.Frontiers = append(cr.Frontiers, GroupFrontier{
+			Model: dep.Model.Name, Cluster: dep.Cluster.Name, GPUs: dep.GPUs,
+			Task: task.ID, Group: policyGroupName(group), Frontier: d.Sch.Frontier,
+		})
 	}
-	var rows []SweepRow
 	base := SweepRow{
 		Model: dep.Model.Name, Cluster: dep.Cluster.Name,
 		GPUs: dep.GPUs, Task: task.ID,
@@ -169,19 +299,60 @@ func (c *Context) sweepCell(dep sched.Deployment, task workload.Task, groups [][
 	for bi, bound := range bounds {
 		ftTput, err := d.RunBaseline(baselines.FT, bound, reqs)
 		if err != nil {
-			return nil, err
+			return cr, err
 		}
 		row := base
 		row.Bound, row.System, row.Tput, row.Feasible = bound, "FT", ftTput, ftTput > 0
-		rows = append(rows, row)
+		cr.Rows = append(cr.Rows, row)
 		for gi, group := range groups {
 			out := outsByGroup[gi][bi]
 			row := base
 			row.Bound, row.System, row.Tput, row.Feasible = bound, policyGroupName(group), out.Tput, out.OK
-			rows = append(rows, row)
+			cr.Rows = append(cr.Rows, row)
 		}
 	}
-	return rows, nil
+	return cr, nil
+}
+
+// sweepRowWire mirrors SweepRow on the wire with the latency bound
+// carried as a string: JSON has no ±Inf, and the relaxed bound is
+// math.Inf(1). strconv's shortest 'g' format round-trips every float64
+// bit-exactly, which the shard-equivalence guarantee relies on.
+type sweepRowWire struct {
+	Model    string  `json:"model"`
+	Cluster  string  `json:"cluster"`
+	GPUs     int     `json:"gpus"`
+	Task     string  `json:"task"`
+	Bound    string  `json:"bound"`
+	System   string  `json:"system"`
+	Tput     float64 `json:"tput"`
+	Feasible bool    `json:"feasible"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (r SweepRow) MarshalJSON() ([]byte, error) {
+	return json.Marshal(sweepRowWire{
+		Model: r.Model, Cluster: r.Cluster, GPUs: r.GPUs, Task: r.Task,
+		Bound:  strconv.FormatFloat(r.Bound, 'g', -1, 64),
+		System: r.System, Tput: r.Tput, Feasible: r.Feasible,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *SweepRow) UnmarshalJSON(data []byte) error {
+	var w sweepRowWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	bound, err := strconv.ParseFloat(w.Bound, 64)
+	if err != nil {
+		return fmt.Errorf("experiments: bad sweep-row bound %q: %w", w.Bound, err)
+	}
+	*r = SweepRow{
+		Model: w.Model, Cluster: w.Cluster, GPUs: w.GPUs, Task: w.Task,
+		Bound: bound, System: w.System, Tput: w.Tput, Feasible: w.Feasible,
+	}
+	return nil
 }
 
 // FormatSweep renders sweep rows as a fixed-width table.

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-report sweep-sharded clean
+.PHONY: all build test race lint bench bench-report sweep-sharded sweep-dispatch clean
 
 all: build
 
@@ -14,11 +14,11 @@ test:
 	$(GO) test ./...
 
 # Race-detect the concurrency-critical packages: the parallel scheduler
-# search, the runner engines, the parallel experiment sweep, and the
+# search, the runner engines, the parallel experiment sweep, the
 # multi-process shard pipeline (concurrent shard workers sharing one
-# profile cache).
+# profile cache), and the work-stealing dispatcher.
 race:
-	$(GO) test -race ./internal/core/... ./internal/runner/... ./internal/experiments/... ./internal/par/... ./internal/distsweep/... ./internal/atomicfile/...
+	$(GO) test -race ./internal/core/... ./internal/runner/... ./internal/experiments/... ./internal/par/... ./internal/distsweep/... ./internal/atomicfile/... ./internal/dispatch/...
 
 # End-to-end sharded sweep on one box: fork 2 local shard worker
 # processes sharing an on-disk profile cache, merge their envelopes, and
@@ -36,6 +36,27 @@ sweep-sharded: build
 	cmp $(SHARD_DIR)/single.json $(SHARD_DIR)/spawned.json
 	cmp $(SHARD_DIR)/single.json $(SHARD_DIR)/merged.json
 	@echo "sharded sweep == single-process sweep (byte-identical)"
+
+# End-to-end work-stealing sweep on one box: a file-spool coordinator
+# plus two pull worker processes, one of them killed right after launch
+# so its leases requeue; the merged artifact must be byte-identical to
+# the single-process sweep's.
+DISPATCH_DIR := .dispatch-demo
+sweep-dispatch: build
+	rm -rf $(DISPATCH_DIR) && mkdir -p $(DISPATCH_DIR)/profiles
+	./exegpt sweep -quick -models OPT-13B -tasks S,T \
+		-profile-cache $(DISPATCH_DIR)/profiles -json $(DISPATCH_DIR)/single.json > /dev/null
+	./exegpt dispatch -quick -models OPT-13B -tasks S,T \
+		-profile-cache $(DISPATCH_DIR)/profiles -spool $(DISPATCH_DIR)/spool \
+		-lease-timeout 3s -json $(DISPATCH_DIR)/dispatched.json > /dev/null & \
+	./exegpt sweep -quick -models OPT-13B -tasks S,T \
+		-profile-cache $(DISPATCH_DIR)/profiles -pull -spool $(DISPATCH_DIR)/spool -worker-id w1 & \
+	W1=$$!; sleep 0.3; kill -9 $$W1 2>/dev/null; \
+	./exegpt sweep -quick -models OPT-13B -tasks S,T \
+		-profile-cache $(DISPATCH_DIR)/profiles -pull -spool $(DISPATCH_DIR)/spool -worker-id w2; \
+	wait
+	cmp $(DISPATCH_DIR)/single.json $(DISPATCH_DIR)/dispatched.json
+	@echo "work-stealing sweep == single-process sweep (byte-identical)"
 
 lint:
 	$(GO) vet ./...
@@ -56,4 +77,4 @@ bench-report: build
 
 clean:
 	rm -f exegpt
-	rm -rf $(SHARD_DIR)
+	rm -rf $(SHARD_DIR) $(DISPATCH_DIR)

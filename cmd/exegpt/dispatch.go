@@ -1,0 +1,315 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"exegpt/internal/dispatch"
+	"exegpt/internal/distsweep"
+	"exegpt/internal/experiments"
+)
+
+// gridFlagSet bundles the grid-selection flags shared by `sweep` and
+// `dispatch`, so coordinator and worker processes resolve — and
+// fingerprint — the same grid from the same spellings.
+type gridFlagSet struct {
+	models   *string
+	gpus     *string
+	tasks    *string
+	policies *string
+}
+
+func gridFlags(fs *flag.FlagSet) *gridFlagSet {
+	return &gridFlagSet{
+		models:   fs.String("models", "", "comma-separated model names (default: every Table 2 model)"),
+		gpus:     fs.String("gpus", "", "comma-separated cluster sizes overriding Table 2 (e.g. 4,8,16)"),
+		tasks:    fs.String("tasks", "", "comma-separated task IDs (default: S,T,G,C1,C2)"),
+		policies: fs.String("policies", "all", "policy set: rra, waa or all"),
+	}
+}
+
+// build resolves the flags into a sweep grid.
+func (g *gridFlagSet) build(ctx *experiments.Context) (experiments.SweepGrid, error) {
+	tasks, err := tasksByIDs(*g.tasks)
+	if err != nil {
+		return experiments.SweepGrid{}, err
+	}
+	groups, err := parsePolicies(*g.policies)
+	if err != nil {
+		return experiments.SweepGrid{}, err
+	}
+	deps, err := sweepDeployments(*g.models, *g.gpus)
+	if err != nil {
+		return experiments.SweepGrid{}, err
+	}
+	return experiments.SweepGrid{
+		Deployments: deps,
+		Tasks:       tasks,
+		Policies:    groups,
+		Workers:     ctx.Workers,
+	}, nil
+}
+
+// workerArgs reproduces the context and grid flags for a forked worker
+// process, with the scheduler/sweep worker budget overridden.
+// Empty-valued flags are omitted rather than passed as "": the two are
+// equivalent to the flag parser (empty is every grid flag's default),
+// and the ssh launch path joins arguments with spaces, where an empty
+// string would vanish and corrupt the remote worker's flag parse.
+func (g *gridFlagSet) workerArgs(ctx *experiments.Context, workers int) []string {
+	args := []string{"sweep",
+		"-seed", strconv.FormatInt(ctx.Seed, 10),
+		"-workers", strconv.Itoa(workers),
+		"-requests", strconv.Itoa(ctx.Requests),
+	}
+	for _, f := range []struct{ name, value string }{
+		{"-profile-cache", ctx.ProfileCacheDir},
+		{"-models", *g.models},
+		{"-gpus", *g.gpus},
+		{"-tasks", *g.tasks},
+		{"-policies", *g.policies},
+	} {
+		if f.value != "" {
+			args = append(args, f.name, f.value)
+		}
+	}
+	if ctx.Quick {
+		args = append(args, "-quick")
+	}
+	return args
+}
+
+// dispatchFlagSet bundles the coordinator tuning flags shared by
+// `sweep -dispatch` and the `dispatch` serve mode.
+type dispatchFlagSet struct {
+	leaseTimeout   *time.Duration
+	cellRetries    *int
+	workerFailures *int
+	idle           *time.Duration
+}
+
+func dispatchFlags(fs *flag.FlagSet) *dispatchFlagSet {
+	return &dispatchFlagSet{
+		leaseTimeout: fs.Duration("lease-timeout", 60*time.Second,
+			"requeue a worker's cells after this long without a heartbeat or result"),
+		cellRetries: fs.Int("cell-retries", 3,
+			"abort the sweep when one cell has been requeued this many times"),
+		workerFailures: fs.Int("worker-failures", 3,
+			"exclude a worker from further leases after this many failed leases"),
+		idle: fs.Duration("dispatch-idle", 10*time.Minute,
+			"abort the sweep when no worker message arrives for this long (0 waits forever)"),
+	}
+}
+
+func (d *dispatchFlagSet) config(fp string, cells int) dispatch.Config {
+	return dispatch.Config{
+		Fingerprint:    fp,
+		Cells:          cells,
+		LeaseTimeout:   *d.leaseTimeout,
+		CellRetries:    *d.cellRetries,
+		WorkerFailures: *d.workerFailures,
+		Idle:           *d.idle,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+}
+
+// defaultWorkerID derives a spool-safe worker id from host and pid.
+func defaultWorkerID() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d", dispatch.SanitizeWorkerID(host), os.Getpid())
+}
+
+// runPullWorker is `exegpt sweep -pull`: one pull-loop worker process
+// evaluating leased cells against the spool directory.
+func runPullWorker(ctx *experiments.Context, grid experiments.SweepGrid, fp, spoolDir, id string, batch int) error {
+	if spoolDir == "" {
+		return fmt.Errorf("-pull needs -spool (the directory shared with the coordinator)")
+	}
+	sp, err := dispatch.NewSpool(spoolDir)
+	if err != nil {
+		return err
+	}
+	if id == "" {
+		id = defaultWorkerID()
+	}
+	wt, err := sp.Worker(id)
+	if err != nil {
+		return err
+	}
+	w := &dispatch.Worker{
+		ID:          id,
+		Fingerprint: fp,
+		Cells:       len(grid.Cells()),
+		Batch:       batch,
+		Idle:        15 * time.Minute,
+		Eval: func(c int) (experiments.CellResult, error) {
+			crs, err := ctx.SweepCells(grid, []int{c})
+			if err != nil {
+				return experiments.CellResult{}, err
+			}
+			return crs[0], nil
+		},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	fmt.Fprintf(os.Stderr, "sweep: pull worker %s on spool %s (%d-cell grid %.12s)\n",
+		id, spoolDir, w.Cells, fp)
+	return w.Run(wt)
+}
+
+// runDispatch is `exegpt sweep -dispatch`: a work-stealing coordinator
+// over a file spool plus its worker fleet — local pull-worker processes
+// by default, or one ssh-launched worker per -hosts entry sharing the
+// spool path.
+func runDispatch(ctx *experiments.Context, grid experiments.SweepGrid, g *gridFlagSet, d *dispatchFlagSet,
+	fp, spoolDir, hosts, remoteBin string, workers, batch int, jsonOut string) error {
+	dir := spoolDir
+	if dir == "" {
+		if hosts != "" {
+			return fmt.Errorf("-hosts needs -spool: a directory path shared by this host and every worker host")
+		}
+		tmp, err := os.MkdirTemp("", "exegpt-spool-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	sp, err := dispatch.NewSpool(dir)
+	if err != nil {
+		return err
+	}
+	if ctx.ProfileCacheDir == "" {
+		// Workers re-profile from scratch without a shared cache; give
+		// them one inside the spool so each (model, sub-cluster)
+		// profiles once across the fleet.
+		ctx.ProfileCacheDir = filepath.Join(dir, "profiles")
+	}
+	// Take the coordinator side before launching anything: it clears a
+	// previous run's stop marker, which a freshly launched worker would
+	// otherwise see and obey.
+	ct, err := sp.Coordinator()
+	if err != nil {
+		return err
+	}
+
+	// Launch the fleet. Worker failures are tolerated by design — the
+	// coordinator requeues their leases — so spawn errors become
+	// warnings unless the coordinator itself fails.
+	spawnErr := make(chan error, 1)
+	if hosts != "" {
+		targets := strings.Split(hosts, ",")
+		argvs := make([][]string, 0, len(targets))
+		for i, h := range targets {
+			h = strings.TrimSpace(h)
+			if h == "" {
+				continue
+			}
+			argv := []string{h, remoteBin}
+			argv = append(argv, g.workerArgs(ctx, 0)...)
+			argv = append(argv, "-pull", "-spool", dir,
+				"-worker-id", fmt.Sprintf("host%d-%s", i, dispatch.SanitizeWorkerID(h)),
+				"-lease-cells", strconv.Itoa(batch))
+			argvs = append(argvs, argv)
+		}
+		if len(argvs) == 0 {
+			return fmt.Errorf("-hosts %q names no hosts", hosts)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: dispatching to %d ssh workers (spool %s)\n", len(argvs), dir)
+		go func() { spawnErr <- distsweep.SpawnArgs("ssh", argvs) }()
+	} else {
+		if workers < 1 {
+			return fmt.Errorf("-dispatch-workers %d < 1", workers)
+		}
+		bin, err := os.Executable()
+		if err != nil {
+			return err
+		}
+		// All pull workers run on this box: split the worker budget
+		// across them, as -spawn does for static shards.
+		budget := ctx.Workers
+		if budget <= 0 {
+			budget = runtime.GOMAXPROCS(0)
+		}
+		perWorker := budget / workers
+		if perWorker < 1 {
+			perWorker = 1
+		}
+		argvs := make([][]string, workers)
+		for i := range argvs {
+			argv := g.workerArgs(ctx, perWorker)
+			argvs[i] = append(argv, "-pull", "-spool", dir,
+				"-worker-id", fmt.Sprintf("w%d", i),
+				"-lease-cells", strconv.Itoa(batch))
+		}
+		fmt.Fprintf(os.Stderr, "sweep: dispatching to %d local pull workers (spool %s)\n", workers, dir)
+		go func() { spawnErr <- distsweep.SpawnArgs(bin, argvs) }()
+	}
+
+	merged, err := dispatch.Run(ct, d.config(fp, len(grid.Cells())))
+	// The stop marker is down (dispatch.Run finishes the transport on
+	// every path), so the fleet drains; surface its exit status.
+	werr := <-spawnErr
+	if err != nil {
+		return err
+	}
+	if werr != nil {
+		fmt.Fprintf(os.Stderr, "sweep: note: worker failures tolerated by work stealing: %v\n", werr)
+	}
+	return printMerged(merged, grid, jsonOut)
+}
+
+// cmdDispatch is the serve mode: a standalone work-stealing coordinator
+// over a spool directory, for fleets whose workers the operator
+// launches (e.g. `ssh host exegpt sweep -pull -spool ...` per host, or
+// a job scheduler). It evaluates nothing itself.
+func cmdDispatch(args []string) error {
+	fs := flag.NewFlagSet("dispatch", flag.ExitOnError)
+	newCtx := commonFlags(fs)
+	g := gridFlags(fs)
+	d := dispatchFlags(fs)
+	spoolDir := fs.String("spool", "", "spool directory shared with the pull workers (required)")
+	jsonOut := fs.String("json", "", "write the merged sweep (rows, evals, frontiers) as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *spoolDir == "" {
+		return fmt.Errorf("dispatch needs -spool (the directory pull workers poll)")
+	}
+	ctx := newCtx()
+	grid, err := g.build(ctx)
+	if err != nil {
+		return err
+	}
+	fp, err := ctx.GridFingerprint(grid)
+	if err != nil {
+		return err
+	}
+	sp, err := dispatch.NewSpool(*spoolDir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dispatch: coordinating %d cells on spool %s (grid %.12s)\n",
+		len(grid.Cells()), *spoolDir, fp)
+	ct, err := sp.Coordinator()
+	if err != nil {
+		return err
+	}
+	merged, err := dispatch.Run(ct, d.config(fp, len(grid.Cells())))
+	if err != nil {
+		return err
+	}
+	return printMerged(merged, grid, *jsonOut)
+}

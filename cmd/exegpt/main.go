@@ -7,10 +7,13 @@
 //
 //	exegpt search  [flags]   find the best schedule for one deployment
 //	exegpt sweep   [flags]   grid-evaluate deployments x tasks
-//	                         (-shards/-shard-index/-spawn run it sharded
-//	                         across processes)
+//	                         (-shards/-shard-index/-spawn shard it
+//	                         statically across processes; -dispatch/-pull
+//	                         run it with dynamic work stealing)
 //	exegpt merge   [flags]   merge sharded-sweep envelopes into the
 //	                         single-process sweep output
+//	exegpt dispatch [flags]  serve a work-stealing sweep coordinator over
+//	                         a spool directory (workers: sweep -pull)
 //	exegpt figures [flags]   regenerate paper figures (6-11)
 //	exegpt tables  [flags]   regenerate paper tables (1-7, cost)
 //	exegpt bench   [flags]   measure the Estimate/FindBest hot paths
@@ -46,6 +49,8 @@ func main() {
 		err = cmdSweep(args)
 	case "merge":
 		err = cmdMerge(args)
+	case "dispatch":
+		err = cmdDispatch(args)
 	case "figures":
 		err = cmdFigures(args)
 	case "tables":
@@ -73,9 +78,14 @@ Commands:
   search    find the best schedule for one (model, cluster, task) deployment
   sweep     grid-evaluate deployments x tasks, parallel across deployments;
             -shards N with -shard-index i (worker) or -spawn (fork local
-            workers) shards the grid across processes
+            workers) shards the grid statically across processes;
+            -dispatch (coordinator) and -pull (worker) run it with dynamic
+            cell-level work stealing over a file spool
   merge     merge shard envelopes (exegpt sweep -shards ... -out ...) into
             the single-process sweep output
+  dispatch  serve a standalone work-stealing coordinator over a -spool
+            directory; operators launch "exegpt sweep -pull" workers on
+            any hosts sharing that path
   figures   regenerate the paper's figures (6, 7, 8, 9, 10, 11)
   tables    regenerate the paper's tables (1-7) and the scheduling-cost study
   bench     measure Estimate/s and FindBest wall time, write BENCH_estimate.json

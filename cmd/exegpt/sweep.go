@@ -14,54 +14,57 @@ import (
 )
 
 // cmdSweep grid-evaluates deployments x tasks, parallel across
-// deployments — and, with -shards, across processes:
+// deployments — and, across processes, either statically sharded or
+// dynamically dispatched:
 //
 //	exegpt sweep                          single process, print the table
 //	exegpt sweep -shards N -shard-index i -out shard_i.json
-//	                                      worker: evaluate one shard,
-//	                                      write its envelope
-//	exegpt sweep -shards N -spawn         coordinator: fork N local
-//	                                      workers, merge, print the table
+//	                                      static worker: evaluate one
+//	                                      round-robin shard, write its
+//	                                      envelope
+//	exegpt sweep -shards N -spawn         static coordinator: fork N
+//	                                      local workers, merge, print
+//	exegpt sweep -dispatch                work-stealing coordinator: fork
+//	                                      -dispatch-workers local pull
+//	                                      workers over a file spool
+//	exegpt sweep -dispatch -hosts a,b -spool DIR
+//	                                      same, one ssh worker per host
+//	                                      over the shared spool DIR
+//	exegpt sweep -pull -spool DIR         pull worker: lease cells from
+//	                                      the coordinator on DIR until
+//	                                      it posts the stop marker
 //
 // Workers sharing a -profile-cache directory profile each (model,
-// sub-cluster) once between them. The merged output is bit-identical to
-// the single-process sweep (see internal/distsweep).
+// sub-cluster) once between them. Every multi-process mode produces
+// output bit-identical to the single-process sweep (see
+// internal/distsweep and internal/dispatch).
 func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	newCtx := commonFlags(fs)
-	modelList := fs.String("models", "", "comma-separated model names (default: every Table 2 model)")
-	gpuList := fs.String("gpus", "", "comma-separated cluster sizes overriding Table 2 (e.g. 4,8,16)")
-	taskList := fs.String("tasks", "", "comma-separated task IDs (default: S,T,G,C1,C2)")
-	policySet := fs.String("policies", "all", "policy set: rra, waa or all")
+	g := gridFlags(fs)
 	shards := fs.Int("shards", 1, "split the sweep into this many round-robin shards")
-	shardIndex := fs.Int("shard-index", -1, "worker mode: evaluate only this shard and write its envelope to -out")
-	outPath := fs.String("out", "", "worker mode: shard envelope output path (required with -shard-index)")
-	spawn := fs.Bool("spawn", false, "coordinator mode: fork one local worker process per shard, merge, print the table")
+	shardIndex := fs.Int("shard-index", -1, "static worker mode: evaluate only this shard and write its envelope to -out")
+	outPath := fs.String("out", "", "static worker mode: shard envelope output path (required with -shard-index)")
+	spawn := fs.Bool("spawn", false, "static coordinator mode: fork one local worker process per shard, merge, print the table")
 	shardDir := fs.String("shard-dir", "", "with -spawn: directory for shard envelopes (default: a temp dir, removed after the merge)")
 	jsonOut := fs.String("json", "", "write the merged sweep (rows, evals, frontiers) as JSON to this file")
+	dispatchMode := fs.Bool("dispatch", false, "work-stealing coordinator mode: lease cells to pull workers over a file spool, merge, print the table")
+	dispatchWorkers := fs.Int("dispatch-workers", 2, "with -dispatch (no -hosts): how many local pull workers to fork")
+	hosts := fs.String("hosts", "", "with -dispatch: comma-separated ssh hosts to launch one pull worker on each (requires a shared -spool path)")
+	remoteBin := fs.String("remote-bin", "exegpt", "with -hosts: the exegpt binary path on the remote hosts")
+	pull := fs.Bool("pull", false, "pull worker mode: lease and evaluate cells from the coordinator on -spool")
+	spoolDir := fs.String("spool", "", "spool directory for -dispatch/-pull (default with -dispatch: a temp dir, removed after the merge)")
+	workerID := fs.String("worker-id", "", "with -pull: this worker's name in leases and logs (default: host-pid)")
+	leaseCells := fs.Int("lease-cells", 1, "with -dispatch/-pull: max cells per lease (1 = finest stealing granularity)")
+	d := dispatchFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	tasks, err := tasksByIDs(*taskList)
-	if err != nil {
-		return err
-	}
-	groups, err := parsePolicies(*policySet)
-	if err != nil {
-		return err
-	}
-	deps, err := sweepDeployments(*modelList, *gpuList)
-	if err != nil {
-		return err
-	}
-
 	ctx := newCtx()
-	grid := experiments.SweepGrid{
-		Deployments: deps,
-		Tasks:       tasks,
-		Policies:    groups,
-		Workers:     ctx.Workers,
+	grid, err := g.build(ctx)
+	if err != nil {
+		return err
 	}
 	fp, err := ctx.GridFingerprint(grid)
 	if err != nil {
@@ -70,12 +73,25 @@ func cmdSweep(args []string) error {
 	if *shards < 1 {
 		return fmt.Errorf("-shards %d < 1", *shards)
 	}
+	modes := 0
+	for _, on := range []bool{*shardIndex >= 0, *spawn, *dispatchMode, *pull} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return fmt.Errorf("-shard-index, -spawn, -dispatch and -pull are mutually exclusive")
+	}
 
 	switch {
+	case *pull:
+		return runPullWorker(ctx, grid, fp, *spoolDir, *workerID, *leaseCells)
+
+	case *dispatchMode:
+		return runDispatch(ctx, grid, g, d, fp, *spoolDir, *hosts, *remoteBin,
+			*dispatchWorkers, *leaseCells, *jsonOut)
+
 	case *shardIndex >= 0:
-		if *spawn {
-			return fmt.Errorf("-shard-index and -spawn are mutually exclusive")
-		}
 		if *outPath == "" {
 			return fmt.Errorf("worker mode needs -out for the shard envelope")
 		}
@@ -123,21 +139,8 @@ func cmdSweep(args []string) error {
 		if perWorker < 1 {
 			perWorker = 1
 		}
-		base := []string{"sweep",
-			"-seed", strconv.FormatInt(ctx.Seed, 10),
-			"-workers", strconv.Itoa(perWorker),
-			"-requests", strconv.Itoa(ctx.Requests),
-			"-profile-cache", ctx.ProfileCacheDir,
-			"-models", *modelList,
-			"-gpus", *gpuList,
-			"-tasks", *taskList,
-			"-policies", *policySet,
-		}
-		if ctx.Quick {
-			base = append(base, "-quick")
-		}
 		fmt.Fprintf(os.Stderr, "sweep: spawning %d shard workers (envelopes in %s)\n", *shards, dir)
-		paths, err := distsweep.SpawnLocal(bin, base, *shards, dir)
+		paths, err := distsweep.SpawnLocal(bin, g.workerArgs(ctx, perWorker), *shards, dir)
 		if err != nil {
 			return err
 		}

@@ -23,7 +23,14 @@ func Write(path string, data []byte, perm os.FileMode) error {
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	// Every error path — a failed write, chmod, close, or rename (e.g.
+	// the target is blocked by an existing directory, or a permission
+	// error) — must remove the temp file: the cache and spool
+	// directories this package serves are scanned by other processes,
+	// and leaked temp files would accumulate across runs. After a
+	// successful rename the name no longer exists and the remove is a
+	// no-op.
+	defer os.Remove(tmp.Name())
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return err

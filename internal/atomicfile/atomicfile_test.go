@@ -71,3 +71,47 @@ func TestWriteConcurrentReadersNeverSeeTornFiles(t *testing.T) {
 		}
 	}
 }
+
+// TestWriteRenameFailureLeavesNoTempFile: when the final rename fails —
+// here the target name is blocked by a non-empty directory — Write must
+// report the error AND remove its temp file, not leak it into a
+// directory other workers scan.
+func TestWriteRenameFailureLeavesNoTempFile(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "f.json")
+	if err := os.MkdirAll(filepath.Join(target, "occupied"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(target, []byte("data"), 0o644); err == nil {
+		t.Fatal("rename onto a non-empty directory succeeded")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file leaked after rename failure: %s", e.Name())
+		}
+	}
+}
+
+// TestWriteErrorPathsLeaveNoTempFile: a failed temp creation (the
+// parent "directory" is a plain file) must not leave droppings either.
+func TestWriteErrorPathsLeaveNoTempFile(t *testing.T) {
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(filepath.Join(blocker, "f.json"), []byte("x"), 0o644); err == nil {
+		t.Fatal("writing under a plain file succeeded")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("unexpected droppings: %v", entries)
+	}
+}

@@ -296,6 +296,15 @@ type Result struct {
 // runFixedBatch implements FT/DSI: take a batch, encode it, decode with
 // the full batch cost until every query in the batch reaches its output
 // length (no early termination), repeat.
+//
+// The picked batch size is an upper bound, not a guarantee: PickBatch
+// sizes it from the task's mean input length, while the worst-case KV
+// reservation here uses each drawn request's actual length, so a run of
+// above-mean inputs can exceed memory at the nominal size (T5-11B on C2
+// under -quick). Each batch therefore fills until its reservation no
+// longer fits and is cut there — the largest feasible batch — instead
+// of failing the run. Batches that fit at the nominal size are
+// unaffected.
 func (e *Engine) runFixedBatch(batch int, reqs []workload.Request, maxOut int) (Result, error) {
 	encMB, decMB := e.microBatchesFor()
 	weights, perToken := e.maxStageMem()
@@ -309,12 +318,24 @@ func (e *Engine) runFixedBatch(batch int, reqs []workload.Request, maxOut int) (
 	now := 0.0
 	var ends []float64
 
-	for start := 0; start < len(reqs); start += batch {
-		end := start + batch
-		if end > len(reqs) {
-			end = len(reqs)
+	for start := 0; start < len(reqs); {
+		limit := start + batch
+		if limit > len(reqs) {
+			limit = len(reqs)
 		}
-		cur := reqs[start:end]
+		cut := start
+		for cut < limit {
+			r := reqs[cut]
+			if err := kv.Admit(r.ID, r.InLen, r.InLen+maxOut); err != nil {
+				if cut == start {
+					return Result{}, fmt.Errorf("baselines: %v query %d does not fit even alone: %w", e.System, r.ID, err)
+				}
+				break
+			}
+			cut++
+		}
+		cur := reqs[start:cut]
+		start = cut
 		tokens, longest := 0, 0
 		meanIn := 0.0
 		for _, r := range cur {
@@ -323,9 +344,6 @@ func (e *Engine) runFixedBatch(batch int, reqs []workload.Request, maxOut int) (
 				longest = r.OutLen
 			}
 			meanIn += float64(r.InLen)
-			if err := kv.Admit(r.ID, r.InLen, r.InLen+maxOut); err != nil {
-				return Result{}, fmt.Errorf("baselines: %v batch %d does not fit: %w", e.System, batch, err)
-			}
 		}
 		meanIn /= float64(len(cur))
 		encT, err := e.encTime(tokens, meanIn, encMB)

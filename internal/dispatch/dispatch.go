@@ -1,0 +1,433 @@
+// Package dispatch replaces the static round-robin shard partition of
+// internal/distsweep with dynamic, cell-level work stealing: a
+// pull-based coordinator owns the canonical SweepGrid cell list as a
+// lease queue, and workers — local goroutines, forked processes, or
+// processes on other hosts — repeatedly request a batch of cells,
+// evaluate them, and stream back one distsweep.CellEnvelope per cell.
+//
+// The protocol is lease → heartbeat/deadline → result or requeue. A
+// worker that stops heartbeating (crashed, partitioned, or just slow
+// past the deadline) loses its lease and the cells requeue for the next
+// requester, with a per-cell retry budget so a poisoned cell fails the
+// sweep loudly instead of cycling forever, and a per-worker failure
+// budget so a repeatedly-failing host is excluded from further leases.
+// Because every cell is evaluated deterministically (results do not
+// depend on worker counts or partition shape), duplicate results from a
+// lease that was stolen and then completed anyway are identical and the
+// first one wins; the folded output stays byte-identical to a
+// single-process Sweep.
+//
+// Transports are pluggable behind two small interfaces: an in-process
+// channel hub (NewHub) for tests and embedded use, and a directory
+// file-spool (NewSpool) that works across processes on one box or
+// across hosts over any shared or synchronized directory (NFS, sshfs,
+// scp/rsync loops, object-store mounts).
+package dispatch
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"exegpt/internal/distsweep"
+)
+
+// WireVersion is the dispatch message format version; the file-spool
+// transport stamps and checks it so mixed-build fleets fail loudly.
+const WireVersion = 1
+
+// MsgType identifies a worker → coordinator message.
+type MsgType int
+
+// Worker → coordinator message types.
+const (
+	// MsgRequest asks for a lease of up to Max cells.
+	MsgRequest MsgType = iota + 1
+	// MsgHeartbeat extends the deadline of the worker's current lease.
+	MsgHeartbeat
+	// MsgResult delivers one evaluated cell.
+	MsgResult
+	// MsgFail reports that one leased cell failed to evaluate.
+	MsgFail
+)
+
+// Msg is one worker → coordinator message.
+type Msg struct {
+	Version int     `json:"version"`
+	Type    MsgType `json:"type"`
+	Worker  string  `json:"worker"`
+	// Seq is the worker's request sequence number; the lease granted
+	// for request n is addressed to (worker, n).
+	Seq int `json:"seq,omitempty"`
+	// Max is the largest cell batch the worker wants (MsgRequest).
+	Max int `json:"max,omitempty"`
+	// Result carries one evaluated cell (MsgResult).
+	Result *distsweep.CellEnvelope `json:"result,omitempty"`
+	// Cell and Err describe a failed evaluation (MsgFail).
+	Cell int    `json:"cell,omitempty"`
+	Err  string `json:"err,omitempty"`
+}
+
+// Lease is the coordinator → worker reply to one request.
+type Lease struct {
+	Version int    `json:"version"`
+	Worker  string `json:"worker"`
+	Seq     int    `json:"seq"`
+	// Cells is the leased batch. Empty with !Stop means "nothing to
+	// lease right now, back off and ask again" (cells may requeue while
+	// other workers' leases are outstanding).
+	Cells []int `json:"cells,omitempty"`
+	// TimeoutMS is the coordinator's lease timeout in milliseconds;
+	// workers derive their heartbeat interval from it (a fraction of
+	// it), so the two sides never need matching flags.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Stop tells the worker to exit its pull loop: the sweep is
+	// complete, aborted, or the worker has been excluded.
+	Stop bool `json:"stop,omitempty"`
+}
+
+// Transport is the coordinator's view of a dispatch transport.
+// Coordinator methods are called from one goroutine.
+type Transport interface {
+	// Recv returns the next worker message, or nil after waiting up to
+	// timeout with none available.
+	Recv(timeout time.Duration) (*Msg, error)
+	// Send delivers a lease reply to lease.Worker. It must not block on
+	// a slow or vanished worker: an undeliverable lease may be dropped
+	// (the worker re-requests, and the coordinator requeues on
+	// deadline).
+	Send(l *Lease) error
+	// Finish broadcasts completion so workers still polling observe a
+	// Stop and exit.
+	Finish() error
+}
+
+// WorkerTransport is one worker's view of a dispatch transport. Send
+// may be called concurrently (the evaluation loop and the heartbeat
+// ticker share it).
+type WorkerTransport interface {
+	Send(m *Msg) error
+	// RecvLease returns the lease replying to request seq, nil after
+	// waiting up to timeout with none available, or a Stop lease once
+	// the coordinator has finished.
+	RecvLease(seq int, timeout time.Duration) (*Lease, error)
+}
+
+// Config parameterizes a coordinator run.
+type Config struct {
+	// Fingerprint is the grid fingerprint every result must carry
+	// (experiments.Context.GridFingerprint).
+	Fingerprint string
+	// Cells is the grid's total cell count; the run completes when
+	// cells 0..Cells-1 are each covered exactly once.
+	Cells int
+	// LeaseTimeout is how long a lease may go without a heartbeat or a
+	// result before its cells requeue. Default 60s.
+	LeaseTimeout time.Duration
+	// CellRetries is how many times one cell may be requeued (lease
+	// expiry or reported failure) before the run aborts. Default 3.
+	CellRetries int
+	// WorkerFailures is how many failed leases — expiries, exhausted
+	// re-grants, or batches with at least one reported cell failure —
+	// one worker may accumulate before it is excluded from further
+	// leases. Default 3.
+	WorkerFailures int
+	// Idle aborts the run when no worker message arrives for this long;
+	// 0 waits forever.
+	Idle time.Duration
+	// Logf, when non-nil, receives progress and failure-handling notes.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// leaseState is one outstanding lease.
+type leaseState struct {
+	cells    map[int]bool
+	deadline time.Time
+	// regrants counts how many times the same worker re-requested while
+	// this lease was outstanding and had its remaining cells re-granted
+	// (a lost lease reply on a slow transport). Bounded: past the limit
+	// the re-request is treated as a failed lease instead, so a
+	// crash-looping worker cannot pin its cells forever.
+	regrants int
+	// failed records that this lease already charged the worker's
+	// failure budget (the budget is per lease, not per cell, so one bad
+	// batch is one failure).
+	failed bool
+}
+
+// Run drives a dispatch coordinator over the transport until every cell
+// is covered exactly once, then folds the results into the merged sweep
+// — byte-identical to a single-process Sweep over the same grid. On
+// return (success or failure) the transport is finished, so workers
+// observe Stop and exit.
+func Run(t Transport, cfg Config) (*distsweep.Merged, error) {
+	if cfg.Cells < 1 {
+		return nil, fmt.Errorf("dispatch: grid has %d cells", cfg.Cells)
+	}
+	if cfg.Fingerprint == "" {
+		return nil, fmt.Errorf("dispatch: missing grid fingerprint")
+	}
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = 60 * time.Second
+	}
+	if cfg.CellRetries <= 0 {
+		cfg.CellRetries = 3
+	}
+	if cfg.WorkerFailures <= 0 {
+		cfg.WorkerFailures = 3
+	}
+	defer t.Finish()
+
+	pending := make([]int, cfg.Cells)
+	for i := range pending {
+		pending[i] = i
+	}
+	leases := map[string]*leaseState{}
+	done := map[int]*distsweep.CellEnvelope{}
+	retries := map[int]int{}
+	failures := map[string]int{}
+	excluded := map[string]bool{}
+	lastActivity := time.Now()
+
+	inPending := func(c int) bool {
+		for _, p := range pending {
+			if p == c {
+				return true
+			}
+		}
+		return false
+	}
+	dropPending := func(c int) {
+		for i, p := range pending {
+			if p == c {
+				pending = append(pending[:i], pending[i+1:]...)
+				return
+			}
+		}
+	}
+	// markFailure charges one failed lease to a worker and excludes it
+	// once over budget.
+	markFailure := func(w string) {
+		failures[w]++
+		if failures[w] >= cfg.WorkerFailures && !excluded[w] {
+			excluded[w] = true
+			cfg.logf("dispatch: excluding worker %s after %d failed leases", w, failures[w])
+		}
+	}
+	// requeueCell puts one unfinished cell back on the queue, enforcing
+	// the retry budget. A cell another worker already completed (a
+	// stolen lease that raced its original holder) needs no requeue.
+	requeueCell := func(c int, why string) error {
+		if _, ok := done[c]; ok {
+			return nil
+		}
+		retries[c]++
+		if retries[c] > cfg.CellRetries {
+			return fmt.Errorf("dispatch: cell %d exceeded its retry budget (%d attempts): %s", c, retries[c], why)
+		}
+		if !inPending(c) {
+			pending = append(pending, c)
+		}
+		return nil
+	}
+	// releaseLease requeues everything a dead or superseded lease still
+	// held, in ascending cell order for reproducible logs.
+	releaseLease := func(w string, ls *leaseState, why string) error {
+		cells := make([]int, 0, len(ls.cells))
+		for c := range ls.cells {
+			cells = append(cells, c)
+		}
+		sort.Ints(cells)
+		delete(leases, w)
+		markFailure(w)
+		for _, c := range cells {
+			if err := requeueCell(c, why); err != nil {
+				return err
+			}
+		}
+		if len(cells) > 0 {
+			cfg.logf("dispatch: requeued cells %v from worker %s (%s)", cells, w, why)
+		}
+		return nil
+	}
+
+	poll := cfg.LeaseTimeout / 4
+	if poll > time.Second {
+		poll = time.Second
+	}
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+
+	for len(done) < cfg.Cells {
+		now := time.Now()
+		for w, ls := range leases {
+			if now.After(ls.deadline) {
+				if err := releaseLease(w, ls, fmt.Sprintf("lease expired after %v without heartbeat", cfg.LeaseTimeout)); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		m, err := t.Recv(poll)
+		if err != nil {
+			return nil, err
+		}
+		if m == nil {
+			if cfg.Idle > 0 && time.Since(lastActivity) > cfg.Idle {
+				return nil, fmt.Errorf("dispatch: no worker activity for %v (%d of %d cells done)",
+					cfg.Idle, len(done), cfg.Cells)
+			}
+			continue
+		}
+		lastActivity = time.Now()
+		w := m.Worker
+		if w == "" {
+			cfg.logf("dispatch: dropping message with empty worker id")
+			continue
+		}
+
+		switch m.Type {
+		case MsgRequest:
+			if ls, ok := leases[w]; ok && len(ls.cells) > 0 {
+				// A new request while a lease is outstanding: most
+				// likely the lease reply was lost or delayed in transit
+				// (a slow spool sync), so re-grant the remaining cells
+				// under the new sequence number — free of charge, since
+				// evaluation is deterministic and duplicates are deduped
+				// anyway. A worker that keeps re-requesting without ever
+				// completing (a crash loop) exhausts the re-grant
+				// allowance and is treated as a failed lease, so its
+				// cells go back to the rest of the fleet.
+				if ls.regrants < 2 && !excluded[w] {
+					ls.regrants++
+					ls.deadline = time.Now().Add(cfg.LeaseTimeout)
+					cells := make([]int, 0, len(ls.cells))
+					for c := range ls.cells {
+						cells = append(cells, c)
+					}
+					sort.Ints(cells)
+					cfg.logf("dispatch: re-granting cells %v to worker %s (re-request %d)", cells, w, ls.regrants)
+					if err := t.Send(&Lease{Version: WireVersion, Worker: w, Seq: m.Seq,
+						Cells: cells, TimeoutMS: cfg.LeaseTimeout.Milliseconds()}); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				if err := releaseLease(w, ls, "superseded by a new request from the same worker"); err != nil {
+					return nil, err
+				}
+			} else if ok {
+				delete(leases, w)
+			}
+			if excluded[w] {
+				if err := t.Send(&Lease{Version: WireVersion, Worker: w, Seq: m.Seq, Stop: true}); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			take := m.Max
+			if take < 1 {
+				take = 1
+			}
+			if take > len(pending) {
+				take = len(pending)
+			}
+			l := &Lease{Version: WireVersion, Worker: w, Seq: m.Seq}
+			if take > 0 {
+				l.Cells = append([]int(nil), pending[:take]...)
+				l.TimeoutMS = cfg.LeaseTimeout.Milliseconds()
+				pending = pending[take:]
+				leases[w] = &leaseState{
+					cells:    make(map[int]bool, len(l.Cells)),
+					deadline: time.Now().Add(cfg.LeaseTimeout),
+				}
+				for _, c := range l.Cells {
+					leases[w].cells[c] = true
+				}
+			}
+			if err := t.Send(l); err != nil {
+				return nil, err
+			}
+
+		case MsgHeartbeat:
+			if ls, ok := leases[w]; ok {
+				ls.deadline = time.Now().Add(cfg.LeaseTimeout)
+			}
+
+		case MsgResult:
+			env := m.Result
+			if env == nil {
+				cfg.logf("dispatch: dropping empty result from worker %s", w)
+				continue
+			}
+			if env.Fingerprint != cfg.Fingerprint {
+				return nil, fmt.Errorf("dispatch: worker %s evaluated a different grid: fingerprint %.12s… vs coordinator %.12s… (flag drift between coordinator and workers?)",
+					w, env.Fingerprint, cfg.Fingerprint)
+			}
+			if env.Total != cfg.Cells {
+				return nil, fmt.Errorf("dispatch: worker %s sees a %d-cell grid, coordinator has %d", w, env.Total, cfg.Cells)
+			}
+			c := env.Result.Cell
+			if c < 0 || c >= cfg.Cells {
+				return nil, fmt.Errorf("dispatch: worker %s returned out-of-range cell %d", w, c)
+			}
+			if _, dup := done[c]; dup {
+				// A stolen lease completed anyway: evaluation is
+				// deterministic, so the copies are identical and the
+				// first one stands.
+				cfg.logf("dispatch: duplicate result for cell %d from worker %s ignored", c, w)
+			} else {
+				done[c] = env
+				dropPending(c)
+				cfg.logf("dispatch: cell %d done (%d/%d) by worker %s", c, len(done), cfg.Cells, w)
+			}
+			if ls, ok := leases[w]; ok {
+				delete(ls.cells, c)
+				ls.deadline = time.Now().Add(cfg.LeaseTimeout)
+				if len(ls.cells) == 0 {
+					delete(leases, w)
+				}
+			}
+
+		case MsgFail:
+			c := m.Cell
+			cfg.logf("dispatch: worker %s failed cell %d: %s", w, c, m.Err)
+			// The worker-failure budget is per lease: one bad batch (a
+			// transiently broken environment failing every cell of it)
+			// counts as one failure, not len(batch) of them.
+			if ls, ok := leases[w]; ok {
+				delete(ls.cells, c)
+				if !ls.failed {
+					ls.failed = true
+					markFailure(w)
+				}
+				if len(ls.cells) == 0 {
+					delete(leases, w)
+				}
+			} else {
+				markFailure(w)
+			}
+			if _, ok := done[c]; !ok && c >= 0 && c < cfg.Cells {
+				if err := requeueCell(c, m.Err); err != nil {
+					return nil, err
+				}
+			}
+
+		default:
+			cfg.logf("dispatch: dropping message of unknown type %d from worker %s", m.Type, w)
+		}
+	}
+
+	envs := make([]*distsweep.CellEnvelope, 0, cfg.Cells)
+	for i := 0; i < cfg.Cells; i++ {
+		envs = append(envs, done[i])
+	}
+	return distsweep.MergeCells(envs)
+}

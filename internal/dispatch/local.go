@@ -1,0 +1,112 @@
+// In-process transport: a channel hub connecting a coordinator
+// goroutine to worker goroutines in the same process. It is the test
+// harness for the dispatch protocol and the cheapest way to embed a
+// work-stealing sweep in another Go program.
+package dispatch
+
+import (
+	"sync"
+	"time"
+)
+
+// Hub is an in-process dispatch transport. The Hub itself is the
+// coordinator side; Worker derives per-worker sides. Safe for
+// concurrent use.
+type Hub struct {
+	inbox chan *Msg
+	done  chan struct{}
+	once  sync.Once
+
+	mu     sync.Mutex
+	leases map[string]chan *Lease
+}
+
+// NewHub returns an empty in-process transport.
+func NewHub() *Hub {
+	return &Hub{
+		inbox:  make(chan *Msg, 64),
+		done:   make(chan struct{}),
+		leases: map[string]chan *Lease{},
+	}
+}
+
+func (h *Hub) leaseChan(worker string) chan *Lease {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ch, ok := h.leases[worker]
+	if !ok {
+		ch = make(chan *Lease, 4)
+		h.leases[worker] = ch
+	}
+	return ch
+}
+
+// Recv implements Transport.
+func (h *Hub) Recv(timeout time.Duration) (*Msg, error) {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case m := <-h.inbox:
+		return m, nil
+	case <-timer.C:
+		return nil, nil
+	}
+}
+
+// Send implements Transport. An undeliverable lease (worker gone, or
+// not draining) is dropped; the worker re-requests and the coordinator
+// requeues on deadline.
+func (h *Hub) Send(l *Lease) error {
+	select {
+	case h.leaseChan(l.Worker) <- l:
+	default:
+	}
+	return nil
+}
+
+// Finish implements Transport.
+func (h *Hub) Finish() error {
+	h.once.Do(func() { close(h.done) })
+	return nil
+}
+
+// Worker returns the named worker's side of the hub.
+func (h *Hub) Worker(id string) WorkerTransport {
+	return &hubWorker{h: h, id: id}
+}
+
+type hubWorker struct {
+	h  *Hub
+	id string
+}
+
+// Send implements WorkerTransport. Messages sent after the coordinator
+// finished are dropped.
+func (w *hubWorker) Send(m *Msg) error {
+	select {
+	case w.h.inbox <- m:
+	case <-w.h.done:
+	}
+	return nil
+}
+
+// RecvLease implements WorkerTransport. Leases for superseded request
+// sequences (e.g. a reply the coordinator sent just before this worker
+// re-requested) are discarded.
+func (w *hubWorker) RecvLease(seq int, timeout time.Duration) (*Lease, error) {
+	ch := w.h.leaseChan(w.id)
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		select {
+		case l := <-ch:
+			if l.Stop || l.Seq == seq {
+				return l, nil
+			}
+		case <-w.h.done:
+			return &Lease{Version: WireVersion, Worker: w.id, Stop: true}, nil
+		case <-timer.C:
+			return nil, nil
+		}
+	}
+}

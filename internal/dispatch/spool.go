@@ -1,0 +1,234 @@
+// File-spool transport: the dispatch protocol over a plain directory,
+// so coordinator and workers can be separate processes on one box or on
+// different hosts sharing the directory any way that preserves whole
+// files — NFS, sshfs, an object-store mount, or scp/rsync copy loops.
+//
+// Layout under the spool root:
+//
+//	inbox/m_<worker>_<nnnnnnnnnnnn>.json   worker → coordinator messages
+//	leases/lease_<worker>_<seq>.json       coordinator → worker replies
+//	stop                                   completion marker
+//
+// Every file is written through internal/atomicfile (temp + rename), so
+// pollers never observe torn JSON; readers delete what they consume.
+// The protocol tolerates lost or delayed files: workers re-request and
+// the coordinator requeues expired leases, so an eventually-consistent
+// synchronizer (rsync in a loop) only slows the sweep down.
+package dispatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"exegpt/internal/atomicfile"
+)
+
+// Spool is a directory-backed dispatch transport.
+type Spool struct {
+	root string
+}
+
+// NewSpool prepares (creating if needed) a spool directory.
+func NewSpool(root string) (*Spool, error) {
+	for _, d := range []string{root, filepath.Join(root, "inbox"), filepath.Join(root, "leases")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("dispatch: spool: %w", err)
+		}
+	}
+	return &Spool{root: root}, nil
+}
+
+// Root returns the spool directory.
+func (s *Spool) Root() string { return s.root }
+
+func (s *Spool) inboxDir() string { return filepath.Join(s.root, "inbox") }
+func (s *Spool) leaseDir() string { return filepath.Join(s.root, "leases") }
+func (s *Spool) stopPath() string { return filepath.Join(s.root, "stop") }
+func (s *Spool) stopped() bool    { _, err := os.Stat(s.stopPath()); return err == nil }
+
+// ValidWorkerID reports whether id is safe to embed in spool file
+// names.
+func ValidWorkerID(id string) bool {
+	return id != "" && id == SanitizeWorkerID(id)
+}
+
+// SanitizeWorkerID maps an arbitrary string (a hostname, an ssh
+// target) onto the spool-safe worker-id charset: letters, digits, '.',
+// '-' and '_'; everything else becomes '-'.
+func SanitizeWorkerID(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			return r
+		}
+		return '-'
+	}, id)
+}
+
+// spoolPollStep bounds how often pollers hit the directory.
+func spoolPollStep(timeout time.Duration) time.Duration {
+	step := timeout / 4
+	if step > 50*time.Millisecond {
+		step = 50 * time.Millisecond
+	}
+	if step < time.Millisecond {
+		step = time.Millisecond
+	}
+	return step
+}
+
+// Coordinator returns the coordinator side of the spool, first clearing
+// everything a previous run on the same directory left behind: the stop
+// marker (which would make every joining worker exit immediately),
+// stale lease replies (which a same-named worker could mistake for this
+// run's), and undrained inbox messages (whose results — possibly from a
+// differently-flagged run — would otherwise poison this one). Dropping
+// a live early-attached worker's request here is harmless: workers
+// re-request after a bounded wait. Workers never clear the stop marker
+// themselves: one that joins after a sweep finished must see it and
+// exit.
+func (s *Spool) Coordinator() (Transport, error) {
+	if err := os.Remove(s.stopPath()); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("dispatch: clear stale stop marker: %w", err)
+	}
+	for dir, prefix := range map[string]string{s.leaseDir(): "lease_", s.inboxDir(): "m_"} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: spool: %w", err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if strings.HasPrefix(name, prefix) && strings.HasSuffix(name, ".json") {
+				os.Remove(filepath.Join(dir, name))
+			}
+		}
+	}
+	return &spoolCoord{s: s}, nil
+}
+
+type spoolCoord struct {
+	s     *Spool
+	queue []*Msg
+}
+
+// Recv implements Transport: drain the inbox directory in name order
+// (per-worker message order is preserved by the zero-padded sequence in
+// the name) into an in-memory queue and pop one message.
+func (c *spoolCoord) Recv(timeout time.Duration) (*Msg, error) {
+	deadline := time.Now().Add(timeout)
+	step := spoolPollStep(timeout)
+	for {
+		if len(c.queue) > 0 {
+			m := c.queue[0]
+			c.queue = c.queue[1:]
+			return m, nil
+		}
+		entries, err := os.ReadDir(c.s.inboxDir())
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: spool inbox: %w", err)
+		}
+		var names []string
+		for _, e := range entries {
+			name := e.Name()
+			if strings.HasPrefix(name, "m_") && strings.HasSuffix(name, ".json") {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			path := filepath.Join(c.s.inboxDir(), name)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				continue // racing another reader or a slow sync; retry next poll
+			}
+			var m Msg
+			if err := json.Unmarshal(data, &m); err != nil || m.Version != WireVersion {
+				// Atomic writes make torn files impossible; anything
+				// undecodable is foreign or from a mixed-version build.
+				os.Remove(path)
+				continue
+			}
+			os.Remove(path)
+			c.queue = append(c.queue, &m)
+		}
+		if len(c.queue) > 0 {
+			continue
+		}
+		if time.Now().After(deadline) {
+			return nil, nil
+		}
+		time.Sleep(step)
+	}
+}
+
+// Send implements Transport.
+func (c *spoolCoord) Send(l *Lease) error {
+	data, err := json.Marshal(l)
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("lease_%s_%d.json", l.Worker, l.Seq)
+	return atomicfile.Write(filepath.Join(c.s.leaseDir(), name), append(data, '\n'), 0o644)
+}
+
+// Finish implements Transport: drop the stop marker every worker polls.
+func (c *spoolCoord) Finish() error {
+	return atomicfile.Write(c.s.stopPath(), []byte("stop\n"), 0o644)
+}
+
+// Worker returns the named worker's side of the spool.
+func (s *Spool) Worker(id string) (WorkerTransport, error) {
+	if !ValidWorkerID(id) {
+		return nil, fmt.Errorf("dispatch: worker id %q not usable in spool file names (letters, digits, '.', '-', '_')", id)
+	}
+	return &spoolWorker{s: s, id: id}, nil
+}
+
+type spoolWorker struct {
+	s   *Spool
+	id  string
+	seq atomic.Int64 // message file sequence (heartbeats share it)
+}
+
+// Send implements WorkerTransport.
+func (w *spoolWorker) Send(m *Msg) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("m_%s_%012d.json", w.id, w.seq.Add(1))
+	return atomicfile.Write(filepath.Join(w.s.inboxDir(), name), append(data, '\n'), 0o644)
+}
+
+// RecvLease implements WorkerTransport.
+func (w *spoolWorker) RecvLease(seq int, timeout time.Duration) (*Lease, error) {
+	path := filepath.Join(w.s.leaseDir(), fmt.Sprintf("lease_%s_%d.json", w.id, seq))
+	deadline := time.Now().Add(timeout)
+	step := spoolPollStep(timeout)
+	for {
+		data, err := os.ReadFile(path)
+		if err == nil {
+			var l Lease
+			if err := json.Unmarshal(data, &l); err != nil || l.Version != WireVersion {
+				os.Remove(path)
+				return nil, fmt.Errorf("dispatch: undecodable lease %s (mixed-version fleet?)", path)
+			}
+			os.Remove(path)
+			return &l, nil
+		}
+		if w.s.stopped() {
+			return &Lease{Version: WireVersion, Worker: w.id, Stop: true}, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, nil
+		}
+		time.Sleep(step)
+	}
+}

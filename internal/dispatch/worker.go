@@ -1,0 +1,184 @@
+// The worker side of the dispatch protocol: a pull loop that requests
+// cell batches, evaluates them one cell at a time (streaming results so
+// the coordinator can account progress at cell granularity), and
+// heartbeats while an evaluation is in flight.
+package dispatch
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"exegpt/internal/distsweep"
+	"exegpt/internal/experiments"
+)
+
+// Worker runs the pull side of a dispatch session.
+type Worker struct {
+	// ID names this worker in leases and logs. File-spool transports
+	// also use it in file names, so keep it to letters, digits, '.',
+	// '-' and '_'.
+	ID string
+	// Fingerprint and Cells describe the grid this worker was launched
+	// for; every result envelope is stamped with them and the
+	// coordinator rejects mismatches.
+	Fingerprint string
+	Cells       int
+	// Batch is the largest cell batch to request per lease; <= 0 means
+	// 1. One cell per lease maximizes stealing granularity; larger
+	// batches amortize round trips on high-latency spools.
+	Batch int
+	// Heartbeat is the interval between heartbeats while evaluating;
+	// <= 0 means 5s. Leases carry the coordinator's lease timeout, and
+	// a heartbeat faster than this one is derived from it when needed,
+	// so a short-timeout coordinator never outpaces a default worker.
+	Heartbeat time.Duration
+	// Poll is the lease-poll interval and the back-off after an empty
+	// lease; <= 0 means 500ms.
+	Poll time.Duration
+	// Idle aborts the worker when no lease reply arrives for this long;
+	// 0 waits forever.
+	Idle time.Duration
+	// Eval evaluates one grid cell (experiments.Context.SweepCells on a
+	// single index, in the CLI).
+	Eval func(cell int) (experiments.CellResult, error)
+	// Logf, when non-nil, receives progress notes.
+	Logf func(format string, args ...any)
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// Run pulls and evaluates cell leases until the coordinator sends Stop.
+// Cell evaluation failures are reported to the coordinator (which
+// requeues within the retry budget) rather than ending the loop;
+// transport failures end it.
+func (w *Worker) Run(t WorkerTransport) error {
+	if w.Eval == nil {
+		return fmt.Errorf("dispatch: worker %q has no Eval", w.ID)
+	}
+	if w.ID == "" {
+		return fmt.Errorf("dispatch: worker has no ID")
+	}
+	batch := w.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	heartbeat := w.Heartbeat
+	if heartbeat <= 0 {
+		heartbeat = 5 * time.Second
+	}
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+
+	// On a lossy transport (an eventually-consistent spool sync) a lease
+	// reply can be lost in transit; after this long without one the
+	// worker re-sends its request under a fresh sequence number instead
+	// of polling a reply that will never come. The coordinator requeues
+	// the orphaned lease's cells on its deadline, so nothing is lost.
+	retry := 10 * poll
+	if retry < 2*time.Second {
+		retry = 2 * time.Second
+	}
+
+	idleStart := time.Now()
+	for seq := 1; ; seq++ {
+		if err := t.Send(&Msg{Version: WireVersion, Type: MsgRequest, Worker: w.ID, Seq: seq, Max: batch}); err != nil {
+			return err
+		}
+		var lease *Lease
+		asked := time.Now()
+		for lease == nil {
+			l, err := t.RecvLease(seq, poll)
+			if err != nil {
+				return err
+			}
+			if l != nil {
+				lease = l
+				break
+			}
+			if w.Idle > 0 && time.Since(idleStart) > w.Idle {
+				return fmt.Errorf("dispatch: worker %s: no lease reply for %v (coordinator gone?)", w.ID, w.Idle)
+			}
+			if time.Since(asked) > retry {
+				w.logf("dispatch: worker %s: no reply to request %d, re-requesting", w.ID, seq)
+				break
+			}
+		}
+		if lease == nil {
+			continue // re-request under the next sequence number
+		}
+		idleStart = time.Now()
+		if lease.Stop {
+			w.logf("dispatch: worker %s stopping", w.ID)
+			return nil
+		}
+		if len(lease.Cells) == 0 {
+			// Nothing leasable right now; cells may requeue while other
+			// workers hold leases, so back off and ask again.
+			time.Sleep(poll)
+			continue
+		}
+
+		if err := w.evalLease(t, lease, heartbeat); err != nil {
+			return err
+		}
+	}
+}
+
+// evalLease evaluates one leased batch cell by cell, heartbeating in
+// the background for as long as the batch is in flight. The heartbeat
+// interval shrinks to a third of the lease's own timeout when the
+// configured interval would be too slow to keep the lease alive.
+func (w *Worker) evalLease(t WorkerTransport, lease *Lease, heartbeat time.Duration) error {
+	if lease.TimeoutMS > 0 {
+		if fromLease := time.Duration(lease.TimeoutMS) * time.Millisecond / 3; fromLease < heartbeat {
+			heartbeat = fromLease
+		}
+		if heartbeat < 10*time.Millisecond {
+			heartbeat = 10 * time.Millisecond
+		}
+	}
+	stop := make(chan struct{})
+	var hb sync.WaitGroup
+	hb.Add(1)
+	go func() {
+		defer hb.Done()
+		tick := time.NewTicker(heartbeat)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				t.Send(&Msg{Version: WireVersion, Type: MsgHeartbeat, Worker: w.ID})
+			}
+		}
+	}()
+	defer func() {
+		close(stop)
+		hb.Wait()
+	}()
+
+	for _, c := range lease.Cells {
+		cr, err := w.Eval(c)
+		if err != nil {
+			w.logf("dispatch: worker %s: cell %d failed: %v", w.ID, c, err)
+			if serr := t.Send(&Msg{Version: WireVersion, Type: MsgFail, Worker: w.ID, Cell: c, Err: err.Error()}); serr != nil {
+				return serr
+			}
+			continue
+		}
+		env := distsweep.NewCellEnvelope(w.Fingerprint, w.Cells, cr)
+		if err := t.Send(&Msg{Version: WireVersion, Type: MsgResult, Worker: w.ID, Result: env}); err != nil {
+			return err
+		}
+		w.logf("dispatch: worker %s: cell %d done", w.ID, c)
+	}
+	return nil
+}

@@ -226,17 +226,25 @@ func Merge(envs []*Envelope) (*Merged, error) {
 	for _, e := range envs {
 		cells = append(cells, e.Cells...)
 	}
+	return foldCells(ref.Fingerprint, cells)
+}
+
+// foldCells reduces a complete cell set into the Merged output — the
+// shared core of the whole-shard and cell-granular merge paths, so both
+// produce byte-identical artifacts. The cells may arrive in any order
+// but must cover the grid 0..len-1 exactly once.
+func foldCells(fingerprint string, cells []experiments.CellResult) (*Merged, error) {
 	sort.Slice(cells, func(i, j int) bool { return cells[i].Cell < cells[j].Cell })
 	for i, c := range cells {
 		// Per-envelope validation already rejected duplicates within a
 		// shard and cells outside a shard's partition, so a gap or
 		// cross-shard duplicate surfaces here as an index mismatch.
 		if c.Cell != i {
-			return nil, fmt.Errorf("distsweep: cell coverage broken at grid index %d (found cell %d): shard workers did not cover the grid exactly once", i, c.Cell)
+			return nil, fmt.Errorf("distsweep: cell coverage broken at grid index %d (found cell %d): workers did not cover the grid exactly once", i, c.Cell)
 		}
 	}
 
-	m := &Merged{Fingerprint: ref.Fingerprint, Cells: len(cells)}
+	m := &Merged{Fingerprint: fingerprint, Cells: len(cells)}
 	type key struct {
 		model, cluster string
 		gpus           int

@@ -1,13 +1,16 @@
 // Local process spawning: the -spawn convenience mode of `exegpt
 // sweep`, which forks one worker process per shard on this machine so a
-// sharded sweep runs end to end on one box. Multi-host dispatch (ssh, a
-// job scheduler) stays with the operator: workers are plain processes
-// that only need the binary, the flags and a shared profile cache.
+// sharded sweep runs end to end on one box, and the generalized
+// SpawnArgs used by the dispatch CLI to fork pull workers. Multi-host
+// dispatch goes through the file-spool transport (see internal/dispatch
+// and the README runbook): workers are plain processes that only need
+// the binary, the flags and a shared spool/profile-cache directory.
 package distsweep
 
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -15,11 +18,29 @@ import (
 	"sync"
 )
 
+// stderrTailLimit bounds how much of a worker's stderr is retained for
+// error reporting.
+const stderrTailLimit = 4096
+
+// tailWriter retains the last tail of everything written through it.
+type tailWriter struct {
+	buf   []byte
+	limit int
+}
+
+func (w *tailWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	if len(w.buf) > w.limit {
+		w.buf = append(w.buf[:0], w.buf[len(w.buf)-w.limit:]...)
+	}
+	return len(p), nil
+}
+
+func (w *tailWriter) String() string { return string(w.buf) }
+
 // SpawnLocal forks one worker process per shard — `bin baseArgs...
 // -shards N -shard-index i -out outDir/shard_i.json` — waits for all of
-// them, and returns the shard envelope paths in index order. Worker
-// output goes to this process's stderr. All workers are always waited
-// for; the returned error joins every failure.
+// them, and returns the shard envelope paths in index order.
 func SpawnLocal(bin string, baseArgs []string, shards int, outDir string) ([]string, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("distsweep: shard count %d < 1", shards)
@@ -28,28 +49,61 @@ func SpawnLocal(bin string, baseArgs []string, shards int, outDir string) ([]str
 		return nil, err
 	}
 	paths := make([]string, shards)
-	errs := make([]error, shards)
-	var wg sync.WaitGroup
+	argvs := make([][]string, shards)
 	for i := 0; i < shards; i++ {
 		paths[i] = filepath.Join(outDir, fmt.Sprintf("shard_%d.json", i))
-		args := append(append([]string(nil), baseArgs...),
+		argvs[i] = append(append([]string(nil), baseArgs...),
 			"-shards", strconv.Itoa(shards),
 			"-shard-index", strconv.Itoa(i),
 			"-out", paths[i])
-		cmd := exec.Command(bin, args...)
+	}
+	if err := SpawnArgs(bin, argvs); err != nil {
+		return nil, err
+	}
+	return paths, nil
+}
+
+// SpawnArgs forks one `bin argv...` process per argument vector and
+// waits for all of them. Worker output goes to this process's stderr.
+// If a later fork fails, the already-started workers are killed and
+// waited for rather than leaked. Every started worker is always waited
+// for; the returned error joins every failure, each carrying the tail
+// of that worker's stderr.
+func SpawnArgs(bin string, argvs [][]string) error {
+	cmds := make([]*exec.Cmd, 0, len(argvs))
+	tails := make([]*tailWriter, 0, len(argvs))
+	for i, argv := range argvs {
+		tail := &tailWriter{limit: stderrTailLimit}
+		cmd := exec.Command(bin, argv...)
 		cmd.Stdout = os.Stderr
-		cmd.Stderr = os.Stderr
+		cmd.Stderr = io.MultiWriter(os.Stderr, tail)
+		if err := cmd.Start(); err != nil {
+			for _, running := range cmds {
+				running.Process.Kill()
+			}
+			for _, running := range cmds {
+				running.Wait()
+			}
+			return fmt.Errorf("distsweep: start worker %d: %w", i, err)
+		}
+		cmds = append(cmds, cmd)
+		tails = append(tails, tail)
+	}
+	errs := make([]error, len(cmds))
+	var wg sync.WaitGroup
+	for i, cmd := range cmds {
 		wg.Add(1)
 		go func(i int, cmd *exec.Cmd) {
 			defer wg.Done()
-			if err := cmd.Run(); err != nil {
-				errs[i] = fmt.Errorf("distsweep: shard worker %d: %w", i, err)
+			if err := cmd.Wait(); err != nil {
+				if tail := tails[i].String(); tail != "" {
+					errs[i] = fmt.Errorf("distsweep: worker %d: %w; stderr tail:\n%s", i, err, tail)
+				} else {
+					errs[i] = fmt.Errorf("distsweep: worker %d: %w", i, err)
+				}
 			}
 		}(i, cmd)
 	}
 	wg.Wait()
-	if err := errors.Join(errs...); err != nil {
-		return nil, err
-	}
-	return paths, nil
+	return errors.Join(errs...)
 }

@@ -1,0 +1,63 @@
+package distsweep
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSpawnArgsPropagatesStderrTail: a failing worker's error must
+// carry the tail of what it wrote to stderr, so multi-process sweep
+// failures are diagnosable from the coordinator's error alone.
+func TestSpawnArgsPropagatesStderrTail(t *testing.T) {
+	err := SpawnArgs("/bin/sh", [][]string{
+		{"-c", "exit 0"},
+		{"-c", "echo worker-one-exploded >&2; exit 3"},
+	})
+	if err == nil {
+		t.Fatal("failing worker reported no error")
+	}
+	if !strings.Contains(err.Error(), "worker 1") {
+		t.Errorf("error does not name the failing worker: %v", err)
+	}
+	if !strings.Contains(err.Error(), "worker-one-exploded") {
+		t.Errorf("error does not carry the worker's stderr tail: %v", err)
+	}
+}
+
+// TestSpawnArgsAllWaited: every worker is waited for even when an
+// earlier one fails, and each failure appears in the joined error.
+func TestSpawnArgsAllWaited(t *testing.T) {
+	err := SpawnArgs("/bin/sh", [][]string{
+		{"-c", "echo first-bad >&2; exit 1"},
+		{"-c", "echo second-bad >&2; exit 2"},
+	})
+	if err == nil {
+		t.Fatal("no error for two failing workers")
+	}
+	for _, want := range []string{"first-bad", "second-bad"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q: %v", want, err)
+		}
+	}
+}
+
+// TestSpawnArgsStartFailure: a binary that cannot be started fails
+// cleanly (the kill-already-started path runs with zero survivors when
+// the first start fails).
+func TestSpawnArgsStartFailure(t *testing.T) {
+	if err := SpawnArgs("/nonexistent/exegpt-binary", [][]string{{"x"}}); err == nil {
+		t.Fatal("starting a nonexistent binary succeeded")
+	}
+}
+
+func TestTailWriterKeepsTail(t *testing.T) {
+	w := &tailWriter{limit: 8}
+	w.Write([]byte("0123456789abcdef"))
+	if got := w.String(); got != "89abcdef" {
+		t.Fatalf("tail = %q, want %q", got, "89abcdef")
+	}
+	w.Write([]byte("ZZ"))
+	if got := w.String(); got != "abcdefZZ" {
+		t.Fatalf("tail after second write = %q, want %q", got, "abcdefZZ")
+	}
+}

@@ -336,3 +336,38 @@ func TestSchedulingCostShape(t *testing.T) {
 		t.Fatal("format broken")
 	}
 }
+
+// TestQuickSweepT511BConvQA2 pins the cell that used to fail the full
+// default grid under -quick: the FT baseline's nominal batch for
+// (T5-11B, C2) is sized from the task's mean input length, but a run of
+// above-mean inputs overflows the KV reservation at that size. The
+// fixed-batch runner now cuts each batch at the largest feasible size
+// instead of erroring, so this cell must sweep cleanly with a feasible
+// FT row at every bound.
+func TestQuickSweepT511BConvQA2(t *testing.T) {
+	dep, err := sched.DeploymentFor("T5-11B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := SweepGrid{
+		Deployments: []sched.Deployment{dep},
+		Tasks:       []workload.Task{workload.ConvQA2},
+	}
+	rows, err := quick().Sweep(grid)
+	if err != nil {
+		t.Fatalf("(T5-11B, C2) quick sweep regressed: %v", err)
+	}
+	ft := 0
+	for _, r := range rows {
+		if r.System != "FT" {
+			continue
+		}
+		ft++
+		if !r.Feasible || r.Tput <= 0 {
+			t.Errorf("FT infeasible at bound %v on (T5-11B, C2)", r.Bound)
+		}
+	}
+	if ft == 0 {
+		t.Fatal("no FT rows in the (T5-11B, C2) sweep")
+	}
+}

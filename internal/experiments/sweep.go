@@ -197,8 +197,7 @@ func (c *Context) Sweep(grid SweepGrid) ([]SweepRow, error) {
 // shards in cell order reproduces a single-process Sweep exactly —
 // rows, Evals and frontiers included (every cell is evaluated
 // independently and all search results are deterministic across worker
-// counts). Cells run concurrently on a bounded worker pool: each cell
-// appends only to its own slot, and results return in cell order.
+// counts).
 func (c *Context) SweepShard(grid SweepGrid, shards, shard int) ([]CellResult, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("experiments: shard count %d < 1", shards)
@@ -206,12 +205,36 @@ func (c *Context) SweepShard(grid SweepGrid, shards, shard int) ([]CellResult, e
 	if shard < 0 || shard >= shards {
 		return nil, fmt.Errorf("experiments: shard index %d out of range 0..%d", shard, shards-1)
 	}
-	_, _, groups := grid.resolved()
-	var mine []SweepCell
-	for _, cl := range grid.Cells() {
-		if cl.Index%shards == shard {
-			mine = append(mine, cl)
+	var indices []int
+	for i := range grid.Cells() {
+		if i%shards == shard {
+			indices = append(indices, i)
 		}
+	}
+	return c.SweepCells(grid, indices)
+}
+
+// SweepCells evaluates an explicit set of grid cells, named by their
+// canonical index, and returns their CellResults in the given order.
+// It is the unit the dynamic work-stealing dispatcher leases: every
+// cell is evaluated exactly as a single-process Sweep would (results
+// are deterministic across worker counts and across any partition of
+// the grid into SweepCells calls). Cells run concurrently on a bounded
+// worker pool: each cell writes only to its own slot.
+func (c *Context) SweepCells(grid SweepGrid, indices []int) ([]CellResult, error) {
+	_, _, groups := grid.resolved()
+	all := grid.Cells()
+	mine := make([]SweepCell, 0, len(indices))
+	seen := make(map[int]bool, len(indices))
+	for _, i := range indices {
+		if i < 0 || i >= len(all) {
+			return nil, fmt.Errorf("experiments: cell index %d out of range 0..%d", i, len(all)-1)
+		}
+		if seen[i] {
+			return nil, fmt.Errorf("experiments: duplicate cell index %d", i)
+		}
+		seen[i] = true
+		mine = append(mine, all[i])
 	}
 	if len(mine) == 0 {
 		return nil, nil

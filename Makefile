@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-report sweep-sharded sweep-dispatch clean
+.PHONY: all build test race lint bench bench-report sweep-sharded sweep-dispatch sweep-http clean
 
 all: build
 
@@ -58,6 +58,28 @@ sweep-dispatch: build
 	cmp $(DISPATCH_DIR)/single.json $(DISPATCH_DIR)/dispatched.json
 	@echo "work-stealing sweep == single-process sweep (byte-identical)"
 
+# End-to-end HTTP-dispatched sweep on one box: an HTTP coordinator plus
+# two workers attaching over TCP, one killed mid-sweep and replaced by a
+# late-attaching worker (elastic fleet); the merged artifact must be
+# byte-identical to the single-process sweep's.
+HTTP_DIR := .http-demo
+HTTP_ADDR := 127.0.0.1:18080
+sweep-http: build
+	rm -rf $(HTTP_DIR) && mkdir -p $(HTTP_DIR)/profiles
+	./exegpt sweep -quick -models OPT-13B -tasks S,T \
+		-profile-cache $(HTTP_DIR)/profiles -json $(HTTP_DIR)/single.json > /dev/null
+	./exegpt dispatch -quick -models OPT-13B -tasks S,T \
+		-profile-cache $(HTTP_DIR)/profiles -http $(HTTP_ADDR) \
+		-lease-timeout 3s -dispatch-idle 60s -json $(HTTP_DIR)/http.json > /dev/null & \
+	./exegpt sweep -quick -models OPT-13B -tasks S,T \
+		-profile-cache $(HTTP_DIR)/profiles -mode pull -connect http://$(HTTP_ADDR) -worker-id w1 & \
+	W1=$$!; sleep 0.3; kill -9 $$W1 2>/dev/null; \
+	./exegpt sweep -quick -models OPT-13B -tasks S,T -dispatch-idle 15s \
+		-profile-cache $(HTTP_DIR)/profiles -mode pull -connect http://$(HTTP_ADDR) -worker-id w2 || true; \
+	wait
+	cmp $(HTTP_DIR)/single.json $(HTTP_DIR)/http.json
+	@echo "HTTP-dispatched sweep == single-process sweep (byte-identical)"
+
 lint:
 	$(GO) vet ./...
 	@unformatted=$$(gofmt -l .); \
@@ -77,4 +99,4 @@ bench-report: build
 
 clean:
 	rm -f exegpt
-	rm -rf $(SHARD_DIR) $(DISPATCH_DIR)
+	rm -rf $(SHARD_DIR) $(DISPATCH_DIR) $(HTTP_DIR)

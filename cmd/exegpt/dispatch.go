@@ -3,6 +3,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -11,6 +13,7 @@ import (
 	"time"
 
 	"exegpt/internal/dispatch"
+	"exegpt/internal/dispatch/httptransport"
 	"exegpt/internal/distsweep"
 	"exegpt/internal/experiments"
 )
@@ -85,36 +88,56 @@ func (g *gridFlagSet) workerArgs(ctx *experiments.Context, workers int) []string
 	return args
 }
 
-// dispatchFlagSet bundles the coordinator tuning flags shared by
-// `sweep -dispatch` and the `dispatch` serve mode.
+// dispatchFlagSet maps the dispatch.Options knobs onto flags, shared by
+// `sweep -mode dispatch/pull` and the `dispatch` serve mode so every
+// entry point tunes the same struct the same way.
 type dispatchFlagSet struct {
 	leaseTimeout   *time.Duration
+	leaseCells     *int
 	cellRetries    *int
 	workerFailures *int
 	idle           *time.Duration
 }
 
 func dispatchFlags(fs *flag.FlagSet) *dispatchFlagSet {
+	d := dispatch.Defaults()
 	return &dispatchFlagSet{
-		leaseTimeout: fs.Duration("lease-timeout", 60*time.Second,
+		leaseTimeout: fs.Duration("lease-timeout", d.LeaseTimeout,
 			"requeue a worker's cells after this long without a heartbeat or result"),
-		cellRetries: fs.Int("cell-retries", 3,
+		leaseCells: fs.Int("lease-cells", d.LeaseCells,
+			"max cells per lease (1 = finest stealing granularity)"),
+		cellRetries: fs.Int("cell-retries", d.CellRetries,
 			"abort the sweep when one cell has been requeued this many times"),
-		workerFailures: fs.Int("worker-failures", 3,
+		workerFailures: fs.Int("worker-failures", d.WorkerFailures,
 			"exclude a worker from further leases after this many failed leases"),
-		idle: fs.Duration("dispatch-idle", 10*time.Minute,
+		idle: fs.Duration("dispatch-idle", d.Idle,
 			"abort the sweep when no worker message arrives for this long (0 waits forever)"),
 	}
 }
 
-func (d *dispatchFlagSet) config(fp string, cells int) dispatch.Config {
-	return dispatch.Config{
-		Fingerprint:    fp,
-		Cells:          cells,
+// options collects the parsed flags into a validated dispatch.Options.
+func (d *dispatchFlagSet) options() (dispatch.Options, error) {
+	o := dispatch.Options{
 		LeaseTimeout:   *d.leaseTimeout,
+		LeaseCells:     *d.leaseCells,
 		CellRetries:    *d.cellRetries,
 		WorkerFailures: *d.workerFailures,
 		Idle:           *d.idle,
+	}
+	if err := o.Validate(); err != nil {
+		return dispatch.Options{}, err
+	}
+	return o, nil
+}
+
+// config assembles a coordinator Config; stderrTail may be nil (no
+// locally captured worker stderr, e.g. the standalone serve mode).
+func coordConfig(fp string, cells int, opts dispatch.Options, stderrTail func(string) string) dispatch.Config {
+	return dispatch.Config{
+		Fingerprint: fp,
+		Cells:       cells,
+		Options:     opts,
+		StderrTail:  stderrTail,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -130,29 +153,95 @@ func defaultWorkerID() string {
 	return fmt.Sprintf("%s-%d", dispatch.SanitizeWorkerID(host), os.Getpid())
 }
 
-// runPullWorker is `exegpt sweep -pull`: one pull-loop worker process
-// evaluating leased cells against the spool directory.
-func runPullWorker(ctx *experiments.Context, grid experiments.SweepGrid, fp, spoolDir, id string, batch int) error {
-	if spoolDir == "" {
-		return fmt.Errorf("-pull needs -spool (the directory shared with the coordinator)")
-	}
-	sp, err := dispatch.NewSpool(spoolDir)
+// httpCoord is a listening HTTP coordinator endpoint: the transport
+// plus the server that exposes it.
+type httpCoord struct {
+	srv *httptransport.Server
+	hs  *http.Server
+	ln  net.Listener
+}
+
+// listenHTTP binds the coordinator's HTTP API on addr (host:port; port
+// 0 picks a free one) and starts serving it.
+func listenHTTP(addr string) (*httpCoord, error) {
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return err
+		return nil, fmt.Errorf("dispatch: listen %s: %w", addr, err)
 	}
+	srv := httptransport.NewServer()
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return &httpCoord{srv: srv, hs: hs, ln: ln}, nil
+}
+
+// localURL is the coordinator URL as reachable from this machine.
+func (h *httpCoord) localURL() string {
+	addr := h.ln.Addr().(*net.TCPAddr)
+	host := addr.IP.String()
+	if addr.IP.IsUnspecified() {
+		host = "127.0.0.1"
+	}
+	return fmt.Sprintf("http://%s", net.JoinHostPort(host, strconv.Itoa(addr.Port)))
+}
+
+// remoteURL is the coordinator URL as reachable from other hosts; it
+// needs the operator to have bound an explicit, routable host.
+func (h *httpCoord) remoteURL(flagAddr string) (string, error) {
+	host, _, err := net.SplitHostPort(flagAddr)
+	if err != nil || host == "" || host == "0.0.0.0" || host == "::" {
+		return "", fmt.Errorf("-hosts workers must reach the coordinator: give -http an explicit routable address (e.g. -http $(hostname):8080), not %q", flagAddr)
+	}
+	port := h.ln.Addr().(*net.TCPAddr).Port
+	return fmt.Sprintf("http://%s", net.JoinHostPort(host, strconv.Itoa(port))), nil
+}
+
+// run drives the coordinator over the HTTP transport, lingers briefly
+// so polling workers observe Stop, then closes the listener.
+func (h *httpCoord) run(cfg dispatch.Config) (*distsweep.Merged, error) {
+	merged, err := dispatch.Run(h.srv, cfg)
+	h.srv.DrainStops(5 * time.Second)
+	h.hs.Close()
+	return merged, err
+}
+
+// runPullWorker is `exegpt sweep -mode pull`: one pull-loop worker
+// process evaluating leased cells against a spool directory or an HTTP
+// coordinator URL.
+func runPullWorker(ctx *experiments.Context, grid experiments.SweepGrid, fp, spoolDir, connectURL, id string, opts dispatch.Options) error {
 	if id == "" {
 		id = defaultWorkerID()
 	}
-	wt, err := sp.Worker(id)
-	if err != nil {
-		return err
+	var wt dispatch.WorkerTransport
+	var via string
+	switch {
+	case connectURL != "":
+		// -dispatch-idle bounds the worker's patience on both paths: how
+		// long a send retries an unreachable coordinator (attaching
+		// before it is up is fine within this budget) and, below, how
+		// long to wait for a lease reply. 0 falls back to the client's
+		// own default rather than retrying sends forever.
+		c, err := httptransport.Dial(connectURL, id, opts.Idle)
+		if err != nil {
+			return err
+		}
+		wt, via = c, connectURL
+	default:
+		sp, err := dispatch.NewSpool(spoolDir)
+		if err != nil {
+			return err
+		}
+		swt, err := sp.Worker(id)
+		if err != nil {
+			return err
+		}
+		wt, via = swt, spoolDir
 	}
 	w := &dispatch.Worker{
 		ID:          id,
 		Fingerprint: fp,
 		Cells:       len(grid.Cells()),
-		Batch:       batch,
-		Idle:        15 * time.Minute,
+		Batch:       opts.LeaseCells,
+		Idle:        opts.Idle,
 		Eval: func(c int) (experiments.CellResult, error) {
 			crs, err := ctx.SweepCells(grid, []int{c})
 			if err != nil {
@@ -164,71 +253,116 @@ func runPullWorker(ctx *experiments.Context, grid experiments.SweepGrid, fp, spo
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
 	}
-	fmt.Fprintf(os.Stderr, "sweep: pull worker %s on spool %s (%d-cell grid %.12s)\n",
-		id, spoolDir, w.Cells, fp)
+	fmt.Fprintf(os.Stderr, "sweep: pull worker %s on %s (%d-cell grid %.12s)\n",
+		id, via, w.Cells, fp)
 	return w.Run(wt)
 }
 
-// runDispatch is `exegpt sweep -dispatch`: a work-stealing coordinator
-// over a file spool plus its worker fleet — local pull-worker processes
-// by default, or one ssh-launched worker per -hosts entry sharing the
-// spool path.
-func runDispatch(ctx *experiments.Context, grid experiments.SweepGrid, g *gridFlagSet, d *dispatchFlagSet,
-	fp, spoolDir, hosts, remoteBin string, workers, batch int, jsonOut string) error {
-	dir := spoolDir
-	if dir == "" {
-		if hosts != "" {
-			return fmt.Errorf("-hosts needs -spool: a directory path shared by this host and every worker host")
+// runDispatch is `exegpt sweep -mode dispatch`: a work-stealing
+// coordinator — over a file spool or, with -http, over the HTTP
+// transport — plus its worker fleet: local pull-worker processes by
+// default, or one ssh-launched worker per -hosts entry.
+func runDispatch(ctx *experiments.Context, grid experiments.SweepGrid, g *gridFlagSet,
+	fp, spoolDir, httpAddr, hosts, remoteBin string, workers int, opts dispatch.Options, jsonOut string) error {
+
+	var ct dispatch.Transport
+	var hc *httpCoord
+	connectURL := "" // non-empty: workers attach over HTTP instead of the spool
+	if httpAddr != "" {
+		var err error
+		if hc, err = listenHTTP(httpAddr); err != nil {
+			return err
 		}
-		tmp, err := os.MkdirTemp("", "exegpt-spool-")
+		if hosts != "" {
+			if connectURL, err = hc.remoteURL(httpAddr); err != nil {
+				return err
+			}
+		} else {
+			connectURL = hc.localURL()
+		}
+		if ctx.ProfileCacheDir == "" && hosts == "" {
+			// Local fleets without a shared cache still profile each
+			// (model, sub-cluster) once between them.
+			tmp, err := os.MkdirTemp("", "exegpt-profiles-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			ctx.ProfileCacheDir = tmp
+		}
+		ct = hc.srv
+		fmt.Fprintf(os.Stderr, "sweep: coordinator HTTP API on %s (status: %s/v1/status)\n",
+			connectURL, connectURL)
+	} else {
+		dir := spoolDir
+		if dir == "" {
+			if hosts != "" {
+				return fmt.Errorf("-hosts needs -spool (a directory path shared by this host and every worker host) or -http (a routable coordinator address)")
+			}
+			tmp, err := os.MkdirTemp("", "exegpt-spool-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		sp, err := dispatch.NewSpool(dir)
 		if err != nil {
 			return err
 		}
-		defer os.RemoveAll(tmp)
-		dir = tmp
+		if ctx.ProfileCacheDir == "" {
+			// Workers re-profile from scratch without a shared cache; give
+			// them one inside the spool so each (model, sub-cluster)
+			// profiles once across the fleet.
+			ctx.ProfileCacheDir = filepath.Join(dir, "profiles")
+		}
+		// Take the coordinator side before launching anything: it clears a
+		// previous run's stop marker, which a freshly launched worker would
+		// otherwise see and obey.
+		if ct, err = sp.Coordinator(); err != nil {
+			return err
+		}
+		spoolDir = dir
 	}
-	sp, err := dispatch.NewSpool(dir)
-	if err != nil {
-		return err
-	}
-	if ctx.ProfileCacheDir == "" {
-		// Workers re-profile from scratch without a shared cache; give
-		// them one inside the spool so each (model, sub-cluster)
-		// profiles once across the fleet.
-		ctx.ProfileCacheDir = filepath.Join(dir, "profiles")
-	}
-	// Take the coordinator side before launching anything: it clears a
-	// previous run's stop marker, which a freshly launched worker would
-	// otherwise see and obey.
-	ct, err := sp.Coordinator()
-	if err != nil {
-		return err
+
+	// attachArgs is how a worker reaches this coordinator.
+	attachArgs := func(id string) []string {
+		if connectURL != "" {
+			return []string{"-pull", "-connect", connectURL, "-worker-id", id,
+				"-lease-cells", strconv.Itoa(opts.LeaseCells)}
+		}
+		return []string{"-pull", "-spool", spoolDir, "-worker-id", id,
+			"-lease-cells", strconv.Itoa(opts.LeaseCells)}
 	}
 
 	// Launch the fleet. Worker failures are tolerated by design — the
 	// coordinator requeues their leases — so spawn errors become
 	// warnings unless the coordinator itself fails.
-	spawnErr := make(chan error, 1)
+	var fleet *distsweep.Fleet
+	var names []string
 	if hosts != "" {
 		targets := strings.Split(hosts, ",")
-		argvs := make([][]string, 0, len(targets))
+		var argvs [][]string
 		for i, h := range targets {
 			h = strings.TrimSpace(h)
 			if h == "" {
 				continue
 			}
+			id := fmt.Sprintf("host%d-%s", i, dispatch.SanitizeWorkerID(h))
 			argv := []string{h, remoteBin}
 			argv = append(argv, g.workerArgs(ctx, 0)...)
-			argv = append(argv, "-pull", "-spool", dir,
-				"-worker-id", fmt.Sprintf("host%d-%s", i, dispatch.SanitizeWorkerID(h)),
-				"-lease-cells", strconv.Itoa(batch))
+			argv = append(argv, attachArgs(id)...)
 			argvs = append(argvs, argv)
+			names = append(names, id)
 		}
 		if len(argvs) == 0 {
 			return fmt.Errorf("-hosts %q names no hosts", hosts)
 		}
-		fmt.Fprintf(os.Stderr, "sweep: dispatching to %d ssh workers (spool %s)\n", len(argvs), dir)
-		go func() { spawnErr <- distsweep.SpawnArgs("ssh", argvs) }()
+		fmt.Fprintf(os.Stderr, "sweep: dispatching to %d ssh workers\n", len(argvs))
+		var err error
+		if fleet, err = distsweep.StartFleet("ssh", argvs, names); err != nil {
+			return err
+		}
 	} else {
 		if workers < 1 {
 			return fmt.Errorf("-dispatch-workers %d < 1", workers)
@@ -238,7 +372,7 @@ func runDispatch(ctx *experiments.Context, grid experiments.SweepGrid, g *gridFl
 			return err
 		}
 		// All pull workers run on this box: split the worker budget
-		// across them, as -spawn does for static shards.
+		// across them, as -mode spawn does for static shards.
 		budget := ctx.Workers
 		if budget <= 0 {
 			budget = runtime.GOMAXPROCS(0)
@@ -249,19 +383,27 @@ func runDispatch(ctx *experiments.Context, grid experiments.SweepGrid, g *gridFl
 		}
 		argvs := make([][]string, workers)
 		for i := range argvs {
-			argv := g.workerArgs(ctx, perWorker)
-			argvs[i] = append(argv, "-pull", "-spool", dir,
-				"-worker-id", fmt.Sprintf("w%d", i),
-				"-lease-cells", strconv.Itoa(batch))
+			id := fmt.Sprintf("w%d", i)
+			argvs[i] = append(g.workerArgs(ctx, perWorker), attachArgs(id)...)
+			names = append(names, id)
 		}
-		fmt.Fprintf(os.Stderr, "sweep: dispatching to %d local pull workers (spool %s)\n", workers, dir)
-		go func() { spawnErr <- distsweep.SpawnArgs(bin, argvs) }()
+		fmt.Fprintf(os.Stderr, "sweep: dispatching to %d local pull workers\n", workers)
+		if fleet, err = distsweep.StartFleet(bin, argvs, names); err != nil {
+			return err
+		}
 	}
 
-	merged, err := dispatch.Run(ct, d.config(fp, len(grid.Cells())))
-	// The stop marker is down (dispatch.Run finishes the transport on
-	// every path), so the fleet drains; surface its exit status.
-	werr := <-spawnErr
+	cfg := coordConfig(fp, len(grid.Cells()), opts, fleet.StderrTail)
+	var merged *distsweep.Merged
+	var err error
+	if hc != nil {
+		merged, err = hc.run(cfg)
+	} else {
+		merged, err = dispatch.Run(ct, cfg)
+	}
+	// The stop signal is down (every coordinator path finishes the
+	// transport), so the fleet drains; surface its exit status.
+	werr := fleet.Wait()
 	if err != nil {
 		return err
 	}
@@ -272,21 +414,27 @@ func runDispatch(ctx *experiments.Context, grid experiments.SweepGrid, g *gridFl
 }
 
 // cmdDispatch is the serve mode: a standalone work-stealing coordinator
-// over a spool directory, for fleets whose workers the operator
-// launches (e.g. `ssh host exegpt sweep -pull -spool ...` per host, or
-// a job scheduler). It evaluates nothing itself.
+// over a spool directory or an HTTP listener, for fleets whose workers
+// the operator launches and re-launches at will (`exegpt sweep -pull
+// -connect URL` / `-pull -spool DIR` per host, at any time during the
+// sweep). It evaluates nothing itself.
 func cmdDispatch(args []string) error {
 	fs := flag.NewFlagSet("dispatch", flag.ExitOnError)
 	newCtx := commonFlags(fs)
 	g := gridFlags(fs)
 	d := dispatchFlags(fs)
-	spoolDir := fs.String("spool", "", "spool directory shared with the pull workers (required)")
+	spoolDir := fs.String("spool", "", "serve over this spool directory shared with the pull workers")
+	httpAddr := fs.String("http", "", "serve the coordinator's HTTP API on this address (host:port; workers attach with sweep -pull -connect)")
 	jsonOut := fs.String("json", "", "write the merged sweep (rows, evals, frontiers) as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *spoolDir == "" {
-		return fmt.Errorf("dispatch needs -spool (the directory pull workers poll)")
+	if (*spoolDir == "") == (*httpAddr == "") {
+		return fmt.Errorf("dispatch serves exactly one transport: give -spool DIR (file spool) or -http ADDR (HTTP API), not both")
+	}
+	opts, err := d.options()
+	if err != nil {
+		return err
 	}
 	ctx := newCtx()
 	grid, err := g.build(ctx)
@@ -297,6 +445,22 @@ func cmdDispatch(args []string) error {
 	if err != nil {
 		return err
 	}
+	cfg := coordConfig(fp, len(grid.Cells()), opts, nil)
+
+	if *httpAddr != "" {
+		hc, err := listenHTTP(*httpAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dispatch: coordinating %d cells on %s (grid %.12s; status: %s/v1/status)\n",
+			len(grid.Cells()), hc.ln.Addr(), fp, hc.localURL())
+		merged, err := hc.run(cfg)
+		if err != nil {
+			return err
+		}
+		return printMerged(merged, grid, *jsonOut)
+	}
+
 	sp, err := dispatch.NewSpool(*spoolDir)
 	if err != nil {
 		return err
@@ -307,7 +471,7 @@ func cmdDispatch(args []string) error {
 	if err != nil {
 		return err
 	}
-	merged, err := dispatch.Run(ct, d.config(fp, len(grid.Cells())))
+	merged, err := dispatch.Run(ct, cfg)
 	if err != nil {
 		return err
 	}

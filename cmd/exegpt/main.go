@@ -6,14 +6,16 @@
 // Usage:
 //
 //	exegpt search  [flags]   find the best schedule for one deployment
-//	exegpt sweep   [flags]   grid-evaluate deployments x tasks
-//	                         (-shards/-shard-index/-spawn shard it
-//	                         statically across processes; -dispatch/-pull
-//	                         run it with dynamic work stealing)
+//	exegpt sweep   [flags]   grid-evaluate deployments x tasks; -mode
+//	                         selects the distribution role: single,
+//	                         worker/spawn (static shards), dispatch/pull
+//	                         (dynamic work stealing over a file spool or
+//	                         HTTP)
 //	exegpt merge   [flags]   merge sharded-sweep envelopes into the
 //	                         single-process sweep output
 //	exegpt dispatch [flags]  serve a work-stealing sweep coordinator over
-//	                         a spool directory (workers: sweep -pull)
+//	                         a -spool directory or a -http address
+//	                         (workers: sweep -mode pull)
 //	exegpt figures [flags]   regenerate paper figures (6-11)
 //	exegpt tables  [flags]   regenerate paper tables (1-7, cost)
 //	exegpt bench   [flags]   measure the Estimate/FindBest hot paths
@@ -77,15 +79,16 @@ func usage() {
 Commands:
   search    find the best schedule for one (model, cluster, task) deployment
   sweep     grid-evaluate deployments x tasks, parallel across deployments;
-            -shards N with -shard-index i (worker) or -spawn (fork local
-            workers) shards the grid statically across processes;
-            -dispatch (coordinator) and -pull (worker) run it with dynamic
-            cell-level work stealing over a file spool
+            -mode picks the distribution role: single (default), worker or
+            spawn (static shards across processes), dispatch (work-stealing
+            coordinator over a file -spool or an -http API) or pull (worker
+            attaching via -spool or -connect URL); the legacy
+            -shard-index/-spawn/-dispatch/-pull spellings still work
   merge     merge shard envelopes (exegpt sweep -shards ... -out ...) into
             the single-process sweep output
   dispatch  serve a standalone work-stealing coordinator over a -spool
-            directory; operators launch "exegpt sweep -pull" workers on
-            any hosts sharing that path
+            directory or an -http address; operators attach "exegpt sweep
+            -mode pull" workers at any time, from any reachable host
   figures   regenerate the paper's figures (6, 7, 8, 9, 10, 11)
   tables    regenerate the paper's tables (1-7) and the scheduling-cost study
   bench     measure Estimate/s and FindBest wall time, write BENCH_estimate.json

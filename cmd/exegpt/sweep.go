@@ -14,48 +14,53 @@ import (
 )
 
 // cmdSweep grid-evaluates deployments x tasks, parallel across
-// deployments — and, across processes, either statically sharded or
-// dynamically dispatched:
+// deployments — and, across processes, in one of five distribution
+// modes, selected explicitly with -mode or implied by the legacy flags:
 //
-//	exegpt sweep                          single process, print the table
-//	exegpt sweep -shards N -shard-index i -out shard_i.json
+//	-mode single (default)                one process, print the table
+//	-mode worker   [-shards N -shard-index i -out shard_i.json]
 //	                                      static worker: evaluate one
 //	                                      round-robin shard, write its
 //	                                      envelope
-//	exegpt sweep -shards N -spawn         static coordinator: fork N
+//	-mode spawn    [-shards N]            static coordinator: fork N
 //	                                      local workers, merge, print
-//	exegpt sweep -dispatch                work-stealing coordinator: fork
+//	-mode dispatch                        work-stealing coordinator: fork
 //	                                      -dispatch-workers local pull
-//	                                      workers over a file spool
-//	exegpt sweep -dispatch -hosts a,b -spool DIR
+//	                                      workers (file spool, or HTTP
+//	                                      with -http ADDR)
+//	-mode dispatch -hosts a,b -spool DIR|-http HOST:PORT
 //	                                      same, one ssh worker per host
-//	                                      over the shared spool DIR
-//	exegpt sweep -pull -spool DIR         pull worker: lease cells from
-//	                                      the coordinator on DIR until
-//	                                      it posts the stop marker
+//	-mode pull     -spool DIR | -connect URL
+//	                                      pull worker: lease cells from
+//	                                      the coordinator until it says
+//	                                      Stop; attachable at any time
 //
-// Workers sharing a -profile-cache directory profile each (model,
-// sub-cluster) once between them. Every multi-process mode produces
-// output bit-identical to the single-process sweep (see
+// The legacy spellings (-shard-index → worker, -spawn → spawn,
+// -dispatch → dispatch, -pull → pull) keep working and map onto the
+// same modes. Workers sharing a -profile-cache directory profile each
+// (model, sub-cluster) once between them. Every multi-process mode
+// produces output bit-identical to the single-process sweep (see
 // internal/distsweep and internal/dispatch).
 func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	newCtx := commonFlags(fs)
 	g := gridFlags(fs)
+	mode := fs.String("mode", "", "distribution mode: single, worker, spawn, dispatch or pull (default: implied by -shard-index/-spawn/-dispatch/-pull, else single)")
 	shards := fs.Int("shards", 1, "split the sweep into this many round-robin shards")
-	shardIndex := fs.Int("shard-index", -1, "static worker mode: evaluate only this shard and write its envelope to -out")
-	outPath := fs.String("out", "", "static worker mode: shard envelope output path (required with -shard-index)")
-	spawn := fs.Bool("spawn", false, "static coordinator mode: fork one local worker process per shard, merge, print the table")
-	shardDir := fs.String("shard-dir", "", "with -spawn: directory for shard envelopes (default: a temp dir, removed after the merge)")
+	shardIndex := fs.Int("shard-index", -1, "worker mode: evaluate only this shard and write its envelope to -out")
+	outPath := fs.String("out", "", "worker mode: shard envelope output path (required)")
+	spawn := fs.Bool("spawn", false, "spawn mode: fork one local worker process per shard, merge, print the table")
+	shardDir := fs.String("shard-dir", "", "spawn mode: directory for shard envelopes (default: a temp dir, removed after the merge)")
 	jsonOut := fs.String("json", "", "write the merged sweep (rows, evals, frontiers) as JSON to this file")
-	dispatchMode := fs.Bool("dispatch", false, "work-stealing coordinator mode: lease cells to pull workers over a file spool, merge, print the table")
-	dispatchWorkers := fs.Int("dispatch-workers", 2, "with -dispatch (no -hosts): how many local pull workers to fork")
-	hosts := fs.String("hosts", "", "with -dispatch: comma-separated ssh hosts to launch one pull worker on each (requires a shared -spool path)")
+	dispatchMode := fs.Bool("dispatch", false, "dispatch mode: work-stealing coordinator leasing cells to pull workers, merge, print the table")
+	dispatchWorkers := fs.Int("dispatch-workers", 2, "dispatch mode (no -hosts): how many local pull workers to fork")
+	hosts := fs.String("hosts", "", "dispatch mode: comma-separated ssh hosts to launch one pull worker on each (needs a shared -spool path or a routable -http address)")
 	remoteBin := fs.String("remote-bin", "exegpt", "with -hosts: the exegpt binary path on the remote hosts")
-	pull := fs.Bool("pull", false, "pull worker mode: lease and evaluate cells from the coordinator on -spool")
-	spoolDir := fs.String("spool", "", "spool directory for -dispatch/-pull (default with -dispatch: a temp dir, removed after the merge)")
-	workerID := fs.String("worker-id", "", "with -pull: this worker's name in leases and logs (default: host-pid)")
-	leaseCells := fs.Int("lease-cells", 1, "with -dispatch/-pull: max cells per lease (1 = finest stealing granularity)")
+	pull := fs.Bool("pull", false, "pull mode: lease and evaluate cells from the coordinator on -spool or -connect")
+	spoolDir := fs.String("spool", "", "file-spool directory for dispatch/pull modes (default in dispatch mode: a temp dir, removed after the merge)")
+	httpAddr := fs.String("http", "", "dispatch mode: serve the coordinator's HTTP API on this host:port instead of a file spool")
+	connect := fs.String("connect", "", "pull mode: attach to the coordinator's HTTP API at this URL (e.g. http://gpu1:8080)")
+	workerID := fs.String("worker-id", "", "pull mode: this worker's name in leases and logs (default: host-pid)")
 	d := dispatchFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,41 +78,47 @@ func cmdSweep(args []string) error {
 	if *shards < 1 {
 		return fmt.Errorf("-shards %d < 1", *shards)
 	}
-	modes := 0
-	for _, on := range []bool{*shardIndex >= 0, *spawn, *dispatchMode, *pull} {
-		if on {
-			modes++
-		}
+	opts, err := d.options()
+	if err != nil {
+		return err
 	}
-	if modes > 1 {
-		return fmt.Errorf("-shard-index, -spawn, -dispatch and -pull are mutually exclusive")
+	m, err := resolveSweepMode(*mode, *shardIndex >= 0, *spawn, *dispatchMode, *pull)
+	if err != nil {
+		return err
+	}
+	if err := validateSweepMode(m, sweepModeFlags{
+		shards: *shards, out: *outPath, shardDir: *shardDir, hosts: *hosts,
+		spool: *spoolDir, http: *httpAddr, connect: *connect, workerID: *workerID,
+	}); err != nil {
+		return err
 	}
 
-	switch {
-	case *pull:
-		return runPullWorker(ctx, grid, fp, *spoolDir, *workerID, *leaseCells)
+	switch m {
+	case modePull:
+		return runPullWorker(ctx, grid, fp, *spoolDir, *connect, *workerID, opts)
 
-	case *dispatchMode:
-		return runDispatch(ctx, grid, g, d, fp, *spoolDir, *hosts, *remoteBin,
-			*dispatchWorkers, *leaseCells, *jsonOut)
+	case modeDispatch:
+		return runDispatch(ctx, grid, g, fp, *spoolDir, *httpAddr, *hosts, *remoteBin,
+			*dispatchWorkers, opts, *jsonOut)
 
-	case *shardIndex >= 0:
-		if *outPath == "" {
-			return fmt.Errorf("worker mode needs -out for the shard envelope")
+	case modeWorker:
+		idx := *shardIndex
+		if idx < 0 {
+			return fmt.Errorf("-mode worker needs -shard-index (which shard this worker evaluates)")
 		}
-		cells, err := ctx.SweepShard(grid, *shards, *shardIndex)
+		cells, err := ctx.SweepShard(grid, *shards, idx)
 		if err != nil {
 			return err
 		}
-		env := distsweep.NewEnvelope(fp, *shards, *shardIndex, cells)
+		env := distsweep.NewEnvelope(fp, *shards, idx, cells)
 		if err := env.WriteFile(*outPath); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "sweep: shard %d/%d: %d cells -> %s\n",
-			*shardIndex, *shards, len(cells), *outPath)
+			idx, *shards, len(cells), *outPath)
 		return nil
 
-	case *spawn:
+	case modeSpawn:
 		dir := *shardDir
 		if dir == "" {
 			tmp, err := os.MkdirTemp("", "exegpt-shards-")

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResolveSweepMode(t *testing.T) {
+	cases := []struct {
+		name                          string
+		explicit                      string
+		shardIndex, spawn, disp, pull bool
+		want                          sweepMode
+		wantErr                       string
+	}{
+		{name: "default single", want: modeSingle},
+		{name: "legacy shard-index", shardIndex: true, want: modeWorker},
+		{name: "legacy spawn", spawn: true, want: modeSpawn},
+		{name: "legacy dispatch", disp: true, want: modeDispatch},
+		{name: "legacy pull", pull: true, want: modePull},
+		{name: "explicit pull", explicit: "pull", want: modePull},
+		{name: "explicit matches legacy", explicit: "dispatch", disp: true, want: modeDispatch},
+		{name: "worker keeps shard-index", explicit: "worker", shardIndex: true, want: modeWorker},
+		{name: "unknown mode", explicit: "serverless", wantErr: "unknown -mode"},
+		{name: "conflicting legacy pair", spawn: true, pull: true, wantErr: "mutually exclusive"},
+		{name: "explicit contradicts legacy", explicit: "spawn", pull: true, wantErr: "conflicts"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := resolveSweepMode(c.explicit, c.shardIndex, c.spawn, c.disp, c.pull)
+			if c.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+					t.Fatalf("got (%q, %v), want error containing %q", got, err, c.wantErr)
+				}
+				return
+			}
+			if err != nil || got != c.want {
+				t.Fatalf("got (%q, %v), want %q", got, err, c.want)
+			}
+		})
+	}
+}
+
+func TestValidateSweepMode(t *testing.T) {
+	cases := []struct {
+		name    string
+		m       sweepMode
+		f       sweepModeFlags
+		wantErr string
+	}{
+		{name: "single plain", m: modeSingle, f: sweepModeFlags{shards: 1}},
+		{name: "single with shards", m: modeSingle, f: sweepModeFlags{shards: 4}, wantErr: "-shards 4"},
+		{name: "single with connect", m: modeSingle, f: sweepModeFlags{shards: 1, connect: "http://x"}, wantErr: "does not use -connect"},
+		{name: "worker ok", m: modeWorker, f: sweepModeFlags{shards: 4, out: "s.json"}},
+		{name: "worker missing out", m: modeWorker, f: sweepModeFlags{shards: 4}, wantErr: "-out"},
+		{name: "worker with spool", m: modeWorker, f: sweepModeFlags{out: "s.json", spool: "/s"}, wantErr: "does not use -spool"},
+		{name: "spawn ok", m: modeSpawn, f: sweepModeFlags{shards: 4, shardDir: "/tmp/x"}},
+		{name: "spawn with http", m: modeSpawn, f: sweepModeFlags{http: ":8080"}, wantErr: "does not use -http"},
+		{name: "dispatch spool", m: modeDispatch, f: sweepModeFlags{spool: "/s"}},
+		{name: "dispatch http", m: modeDispatch, f: sweepModeFlags{http: ":8080", hosts: "a,b"}},
+		{name: "dispatch both transports", m: modeDispatch, f: sweepModeFlags{spool: "/s", http: ":8080"}, wantErr: "not both"},
+		{name: "dispatch with connect", m: modeDispatch, f: sweepModeFlags{connect: "http://x"}, wantErr: "does not use -connect"},
+		{name: "pull spool", m: modePull, f: sweepModeFlags{spool: "/s", workerID: "w1"}},
+		{name: "pull connect", m: modePull, f: sweepModeFlags{connect: "http://x"}},
+		{name: "pull neither", m: modePull, wantErr: "exactly one coordinator"},
+		{name: "pull both", m: modePull, f: sweepModeFlags{spool: "/s", connect: "http://x"}, wantErr: "exactly one coordinator"},
+		{name: "pull with hosts", m: modePull, f: sweepModeFlags{connect: "http://x", hosts: "a"}, wantErr: "does not use -hosts"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateSweepMode(c.m, c.f)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("got %v, want error containing %q", err, c.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,58 @@
+package dispatch_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"exegpt/internal/dispatch"
+	"exegpt/internal/dispatch/transporttest"
+)
+
+// TestHubConformance runs the shared transport conformance suite
+// against the in-process channel hub. The hub passes typed pointers, so
+// the corrupt-frame scenario is skipped.
+func TestHubConformance(t *testing.T) {
+	transporttest.Run(t, func(t *testing.T) *transporttest.Harness {
+		hub := dispatch.NewHub()
+		return &transporttest.Harness{
+			Coordinator: hub,
+			Worker: func(t *testing.T, id string) dispatch.WorkerTransport {
+				return hub.Worker(id)
+			},
+		}
+	})
+}
+
+// TestSpoolConformance runs the shared transport conformance suite
+// against the file spool, with corruption modeled as a torn (truncated
+// mid-frame) inbox file — what a non-atomic writer or a partial copy
+// would leave behind.
+func TestSpoolConformance(t *testing.T) {
+	transporttest.Run(t, func(t *testing.T) *transporttest.Harness {
+		spool, err := dispatch.NewSpool(filepath.Join(t.TempDir(), "spool"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := spool.Coordinator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &transporttest.Harness{
+			Coordinator: ct,
+			Worker: func(t *testing.T, id string) dispatch.WorkerTransport {
+				wt, err := spool.Worker(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return wt
+			},
+			Corrupt: func() error {
+				torn := []byte(`{"version":1,"type":3,"worker":"torn","resu`)
+				return os.WriteFile(
+					filepath.Join(spool.Root(), "inbox", "m_torn_000000000001.json"),
+					torn, 0o644)
+			},
+		}
+	})
+}

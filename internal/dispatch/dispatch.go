@@ -17,16 +17,23 @@
 // first one wins; the folded output stays byte-identical to a
 // single-process Sweep.
 //
-// Transports are pluggable behind two small interfaces: an in-process
-// channel hub (NewHub) for tests and embedded use, and a directory
-// file-spool (NewSpool) that works across processes on one box or
-// across hosts over any shared or synchronized directory (NFS, sshfs,
-// scp/rsync loops, object-store mounts).
+// Transports are pluggable behind two small interfaces (Transport on
+// the coordinator side, WorkerTransport on the worker side). Three
+// ship: an in-process channel hub (NewHub) for tests and embedded use,
+// a directory file-spool (NewSpool) that works across processes on one
+// box or across hosts over any shared or synchronized directory (NFS,
+// sshfs, scp/rsync loops, object-store mounts), and a JSON-over-HTTP
+// transport (httptransport.NewServer / httptransport.Dial) for fleets
+// of workers attaching to a coordinator over plain TCP — no shared
+// filesystem, workers joinable and killable at any time. The spool and
+// HTTP transports share one versioned wire codec (wire.go); the
+// transporttest subpackage is the conformance suite all three pass.
 package dispatch
 
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"exegpt/internal/distsweep"
@@ -113,6 +120,85 @@ type WorkerTransport interface {
 	RecvLease(seq int, timeout time.Duration) (*Lease, error)
 }
 
+// Options collects every dispatch tuning knob in one place, threaded
+// identically through the CLI and all three transports (hub, spool,
+// HTTP). Zero-valued fields mean the Defaults() value; Validate rejects
+// anything out of range.
+type Options struct {
+	// LeaseTimeout is how long a lease may go without a heartbeat or a
+	// result before its cells requeue.
+	LeaseTimeout time.Duration
+	// LeaseCells is the largest cell batch a worker requests per lease.
+	// 1 is the finest stealing granularity; larger batches amortize
+	// round trips on high-latency transports.
+	LeaseCells int
+	// CellRetries is how many times one cell may be requeued (lease
+	// expiry or reported failure) before the run aborts.
+	CellRetries int
+	// WorkerFailures is how many failed leases — expiries, exhausted
+	// re-grants, or batches with at least one reported cell failure —
+	// one worker may accumulate before it is excluded from further
+	// leases.
+	WorkerFailures int
+	// Idle aborts the run when no worker message arrives for this long;
+	// 0 waits forever.
+	Idle time.Duration
+}
+
+// Defaults returns the documented dispatch defaults: 60s lease timeout,
+// 1-cell leases, 3 retries per cell, 3 failed leases per worker, and a
+// 10-minute idle abort.
+func Defaults() Options {
+	return Options{
+		LeaseTimeout:   60 * time.Second,
+		LeaseCells:     1,
+		CellRetries:    3,
+		WorkerFailures: 3,
+		Idle:           10 * time.Minute,
+	}
+}
+
+// Validate rejects out-of-range knob values. Zero values are allowed
+// where they mean "use the default" (withDefaults resolves them) or
+// "wait forever" (Idle).
+func (o Options) Validate() error {
+	if o.LeaseTimeout < 0 {
+		return fmt.Errorf("dispatch: lease timeout %v < 0", o.LeaseTimeout)
+	}
+	if o.LeaseCells < 0 {
+		return fmt.Errorf("dispatch: lease batch %d < 0 cells", o.LeaseCells)
+	}
+	if o.CellRetries < 0 {
+		return fmt.Errorf("dispatch: cell retry budget %d < 0", o.CellRetries)
+	}
+	if o.WorkerFailures < 0 {
+		return fmt.Errorf("dispatch: worker failure budget %d < 0", o.WorkerFailures)
+	}
+	if o.Idle < 0 {
+		return fmt.Errorf("dispatch: idle deadline %v < 0", o.Idle)
+	}
+	return nil
+}
+
+// withDefaults resolves zero-valued fields to their Defaults() values.
+// Idle stays as given: 0 legitimately means "wait forever".
+func (o Options) withDefaults() Options {
+	d := Defaults()
+	if o.LeaseTimeout == 0 {
+		o.LeaseTimeout = d.LeaseTimeout
+	}
+	if o.LeaseCells == 0 {
+		o.LeaseCells = d.LeaseCells
+	}
+	if o.CellRetries == 0 {
+		o.CellRetries = d.CellRetries
+	}
+	if o.WorkerFailures == 0 {
+		o.WorkerFailures = d.WorkerFailures
+	}
+	return o
+}
+
 // Config parameterizes a coordinator run.
 type Config struct {
 	// Fingerprint is the grid fingerprint every result must carry
@@ -121,22 +207,57 @@ type Config struct {
 	// Cells is the grid's total cell count; the run completes when
 	// cells 0..Cells-1 are each covered exactly once.
 	Cells int
-	// LeaseTimeout is how long a lease may go without a heartbeat or a
-	// result before its cells requeue. Default 60s.
-	LeaseTimeout time.Duration
-	// CellRetries is how many times one cell may be requeued (lease
-	// expiry or reported failure) before the run aborts. Default 3.
-	CellRetries int
-	// WorkerFailures is how many failed leases — expiries, exhausted
-	// re-grants, or batches with at least one reported cell failure —
-	// one worker may accumulate before it is excluded from further
-	// leases. Default 3.
-	WorkerFailures int
-	// Idle aborts the run when no worker message arrives for this long;
-	// 0 waits forever.
-	Idle time.Duration
+	// Options are the lease/retry/idle knobs; zero-valued fields take
+	// the Defaults() values.
+	Options Options
 	// Logf, when non-nil, receives progress and failure-handling notes.
 	Logf func(format string, args ...any)
+	// StderrTail, when non-nil, maps a worker id to the tail of its
+	// captured stderr (a locally forked or ssh-launched process). It is
+	// attached to exclusion events so status reports say *why* a host
+	// was excluded, not just that it was.
+	StderrTail func(worker string) string
+}
+
+// Status is a point-in-time snapshot of a coordinator run, published to
+// transports that implement StatusSink (the HTTP transport serves it on
+// its status endpoint).
+type Status struct {
+	// Total, Done and Queued describe the cell queue: grid size, cells
+	// folded so far, and the current queue depth (cells waiting for a
+	// lease; cells inside outstanding leases are in neither).
+	Total  int `json:"total"`
+	Done   int `json:"done"`
+	Queued int `json:"queued"`
+	// Workers lists every worker the coordinator has heard from, in
+	// worker-id order.
+	Workers []WorkerStatus `json:"workers,omitempty"`
+}
+
+// WorkerStatus is one worker's lease state inside a Status snapshot.
+type WorkerStatus struct {
+	Worker string `json:"worker"`
+	// Cells is the worker's outstanding lease, ascending; empty when
+	// the worker holds no lease.
+	Cells []int `json:"cells,omitempty"`
+	// DeadlineMS is how many milliseconds remain until the outstanding
+	// lease expires; 0 without a lease.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Failures counts the worker's failed leases against the
+	// WorkerFailures budget; Excluded is set once the budget is spent.
+	Failures int  `json:"failures,omitempty"`
+	Excluded bool `json:"excluded,omitempty"`
+	// LastError is the most recent reason a lease of this worker's
+	// failed (an evaluation error, a lease expiry), with the worker's
+	// captured stderr tail attached when available.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// StatusSink is implemented by transports that surface coordinator
+// state to operators; Run publishes a fresh Status after every handled
+// message and expiry sweep.
+type StatusSink interface {
+	PublishStatus(Status)
 }
 
 func (c *Config) logf(format string, args ...any) {
@@ -173,15 +294,10 @@ func Run(t Transport, cfg Config) (*distsweep.Merged, error) {
 	if cfg.Fingerprint == "" {
 		return nil, fmt.Errorf("dispatch: missing grid fingerprint")
 	}
-	if cfg.LeaseTimeout <= 0 {
-		cfg.LeaseTimeout = 60 * time.Second
+	if err := cfg.Options.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.CellRetries <= 0 {
-		cfg.CellRetries = 3
-	}
-	if cfg.WorkerFailures <= 0 {
-		cfg.WorkerFailures = 3
-	}
+	opts := cfg.Options.withDefaults()
 	defer t.Finish()
 
 	pending := make([]int, cfg.Cells)
@@ -193,7 +309,42 @@ func Run(t Transport, cfg Config) (*distsweep.Merged, error) {
 	retries := map[int]int{}
 	failures := map[string]int{}
 	excluded := map[string]bool{}
+	lastErr := map[string]string{}
+	seen := map[string]bool{}
 	lastActivity := time.Now()
+
+	sink, _ := t.(StatusSink)
+	publish := func() {
+		if sink == nil {
+			return
+		}
+		s := Status{Total: cfg.Cells, Done: len(done), Queued: len(pending)}
+		ids := make([]string, 0, len(seen))
+		for w := range seen {
+			ids = append(ids, w)
+		}
+		sort.Strings(ids)
+		now := time.Now()
+		for _, w := range ids {
+			ws := WorkerStatus{
+				Worker:    w,
+				Failures:  failures[w],
+				Excluded:  excluded[w],
+				LastError: lastErr[w],
+			}
+			if ls, ok := leases[w]; ok {
+				for c := range ls.cells {
+					ws.Cells = append(ws.Cells, c)
+				}
+				sort.Ints(ws.Cells)
+				if rem := ls.deadline.Sub(now).Milliseconds(); rem > 0 {
+					ws.DeadlineMS = rem
+				}
+			}
+			s.Workers = append(s.Workers, ws)
+		}
+		sink.PublishStatus(s)
+	}
 
 	inPending := func(c int) bool {
 		for _, p := range pending {
@@ -211,13 +362,21 @@ func Run(t Transport, cfg Config) (*distsweep.Merged, error) {
 			}
 		}
 	}
-	// markFailure charges one failed lease to a worker and excludes it
-	// once over budget.
-	markFailure := func(w string) {
+	// markFailure charges one failed lease to a worker, records why, and
+	// excludes the worker once over budget — attaching its captured
+	// stderr tail (when a spawner provides one) so the exclusion event
+	// explains itself.
+	markFailure := func(w, why string) {
 		failures[w]++
-		if failures[w] >= cfg.WorkerFailures && !excluded[w] {
+		if cfg.StderrTail != nil {
+			if tail := cfg.StderrTail(w); tail != "" {
+				why = fmt.Sprintf("%s; stderr tail:\n%s", why, strings.TrimRight(tail, "\n"))
+			}
+		}
+		lastErr[w] = why
+		if failures[w] >= opts.WorkerFailures && !excluded[w] {
 			excluded[w] = true
-			cfg.logf("dispatch: excluding worker %s after %d failed leases", w, failures[w])
+			cfg.logf("dispatch: excluding worker %s after %d failed leases, last: %s", w, failures[w], why)
 		}
 	}
 	// requeueCell puts one unfinished cell back on the queue, enforcing
@@ -228,7 +387,7 @@ func Run(t Transport, cfg Config) (*distsweep.Merged, error) {
 			return nil
 		}
 		retries[c]++
-		if retries[c] > cfg.CellRetries {
+		if retries[c] > opts.CellRetries {
 			return fmt.Errorf("dispatch: cell %d exceeded its retry budget (%d attempts): %s", c, retries[c], why)
 		}
 		if !inPending(c) {
@@ -245,7 +404,7 @@ func Run(t Transport, cfg Config) (*distsweep.Merged, error) {
 		}
 		sort.Ints(cells)
 		delete(leases, w)
-		markFailure(w)
+		markFailure(w, why)
 		for _, c := range cells {
 			if err := requeueCell(c, why); err != nil {
 				return err
@@ -257,7 +416,7 @@ func Run(t Transport, cfg Config) (*distsweep.Merged, error) {
 		return nil
 	}
 
-	poll := cfg.LeaseTimeout / 4
+	poll := opts.LeaseTimeout / 4
 	if poll > time.Second {
 		poll = time.Second
 	}
@@ -265,13 +424,15 @@ func Run(t Transport, cfg Config) (*distsweep.Merged, error) {
 		poll = time.Millisecond
 	}
 
+	publish()
 	for len(done) < cfg.Cells {
 		now := time.Now()
 		for w, ls := range leases {
 			if now.After(ls.deadline) {
-				if err := releaseLease(w, ls, fmt.Sprintf("lease expired after %v without heartbeat", cfg.LeaseTimeout)); err != nil {
+				if err := releaseLease(w, ls, fmt.Sprintf("lease expired after %v without heartbeat", opts.LeaseTimeout)); err != nil {
 					return nil, err
 				}
+				publish()
 			}
 		}
 
@@ -280,9 +441,9 @@ func Run(t Transport, cfg Config) (*distsweep.Merged, error) {
 			return nil, err
 		}
 		if m == nil {
-			if cfg.Idle > 0 && time.Since(lastActivity) > cfg.Idle {
+			if opts.Idle > 0 && time.Since(lastActivity) > opts.Idle {
 				return nil, fmt.Errorf("dispatch: no worker activity for %v (%d of %d cells done)",
-					cfg.Idle, len(done), cfg.Cells)
+					opts.Idle, len(done), cfg.Cells)
 			}
 			continue
 		}
@@ -292,6 +453,7 @@ func Run(t Transport, cfg Config) (*distsweep.Merged, error) {
 			cfg.logf("dispatch: dropping message with empty worker id")
 			continue
 		}
+		seen[w] = true
 
 		switch m.Type {
 		case MsgRequest:
@@ -307,7 +469,7 @@ func Run(t Transport, cfg Config) (*distsweep.Merged, error) {
 				// cells go back to the rest of the fleet.
 				if ls.regrants < 2 && !excluded[w] {
 					ls.regrants++
-					ls.deadline = time.Now().Add(cfg.LeaseTimeout)
+					ls.deadline = time.Now().Add(opts.LeaseTimeout)
 					cells := make([]int, 0, len(ls.cells))
 					for c := range ls.cells {
 						cells = append(cells, c)
@@ -315,9 +477,10 @@ func Run(t Transport, cfg Config) (*distsweep.Merged, error) {
 					sort.Ints(cells)
 					cfg.logf("dispatch: re-granting cells %v to worker %s (re-request %d)", cells, w, ls.regrants)
 					if err := t.Send(&Lease{Version: WireVersion, Worker: w, Seq: m.Seq,
-						Cells: cells, TimeoutMS: cfg.LeaseTimeout.Milliseconds()}); err != nil {
+						Cells: cells, TimeoutMS: opts.LeaseTimeout.Milliseconds()}); err != nil {
 						return nil, err
 					}
+					publish()
 					continue
 				}
 				if err := releaseLease(w, ls, "superseded by a new request from the same worker"); err != nil {
@@ -342,11 +505,11 @@ func Run(t Transport, cfg Config) (*distsweep.Merged, error) {
 			l := &Lease{Version: WireVersion, Worker: w, Seq: m.Seq}
 			if take > 0 {
 				l.Cells = append([]int(nil), pending[:take]...)
-				l.TimeoutMS = cfg.LeaseTimeout.Milliseconds()
+				l.TimeoutMS = opts.LeaseTimeout.Milliseconds()
 				pending = pending[take:]
 				leases[w] = &leaseState{
 					cells:    make(map[int]bool, len(l.Cells)),
-					deadline: time.Now().Add(cfg.LeaseTimeout),
+					deadline: time.Now().Add(opts.LeaseTimeout),
 				}
 				for _, c := range l.Cells {
 					leases[w].cells[c] = true
@@ -355,11 +518,13 @@ func Run(t Transport, cfg Config) (*distsweep.Merged, error) {
 			if err := t.Send(l); err != nil {
 				return nil, err
 			}
+			publish()
 
 		case MsgHeartbeat:
 			if ls, ok := leases[w]; ok {
-				ls.deadline = time.Now().Add(cfg.LeaseTimeout)
+				ls.deadline = time.Now().Add(opts.LeaseTimeout)
 			}
+			publish()
 
 		case MsgResult:
 			env := m.Result
@@ -390,15 +555,17 @@ func Run(t Transport, cfg Config) (*distsweep.Merged, error) {
 			}
 			if ls, ok := leases[w]; ok {
 				delete(ls.cells, c)
-				ls.deadline = time.Now().Add(cfg.LeaseTimeout)
+				ls.deadline = time.Now().Add(opts.LeaseTimeout)
 				if len(ls.cells) == 0 {
 					delete(leases, w)
 				}
 			}
+			publish()
 
 		case MsgFail:
 			c := m.Cell
 			cfg.logf("dispatch: worker %s failed cell %d: %s", w, c, m.Err)
+			why := fmt.Sprintf("cell %d failed: %s", c, m.Err)
 			// The worker-failure budget is per lease: one bad batch (a
 			// transiently broken environment failing every cell of it)
 			// counts as one failure, not len(batch) of them.
@@ -406,25 +573,29 @@ func Run(t Transport, cfg Config) (*distsweep.Merged, error) {
 				delete(ls.cells, c)
 				if !ls.failed {
 					ls.failed = true
-					markFailure(w)
+					markFailure(w, why)
+				} else {
+					lastErr[w] = why
 				}
 				if len(ls.cells) == 0 {
 					delete(leases, w)
 				}
 			} else {
-				markFailure(w)
+				markFailure(w, why)
 			}
 			if _, ok := done[c]; !ok && c >= 0 && c < cfg.Cells {
 				if err := requeueCell(c, m.Err); err != nil {
 					return nil, err
 				}
 			}
+			publish()
 
 		default:
 			cfg.logf("dispatch: dropping message of unknown type %d from worker %s", m.Type, w)
 		}
 	}
 
+	publish()
 	envs := make([]*distsweep.CellEnvelope, 0, cfg.Cells)
 	for i := 0; i < cfg.Cells; i++ {
 		envs = append(envs, done[i])

@@ -47,10 +47,12 @@ func fakeReference(t *testing.T, fp string, n int) []byte {
 // testConfig returns fast-twitch coordinator settings for tests.
 func testConfig(fp string, n int) Config {
 	return Config{
-		Fingerprint:  fp,
-		Cells:        n,
-		LeaseTimeout: 150 * time.Millisecond,
-		Idle:         10 * time.Second, // fail fast instead of hanging the test
+		Fingerprint: fp,
+		Cells:       n,
+		Options: Options{
+			LeaseTimeout: 150 * time.Millisecond,
+			Idle:         10 * time.Second, // fail fast instead of hanging the test
+		},
 	}
 }
 
@@ -213,9 +215,9 @@ func TestDispatchHeartbeatKeepsSlowLeaseAlive(t *testing.T) {
 	const fp, n = "fp-slow", 2
 	hub := NewHub()
 	cfg := testConfig(fp, n)
-	cfg.LeaseTimeout = 100 * time.Millisecond
-	cfg.WorkerFailures = 1
-	cfg.Idle = 5 * time.Second
+	cfg.Options.LeaseTimeout = 100 * time.Millisecond
+	cfg.Options.WorkerFailures = 1
+	cfg.Options.Idle = 5 * time.Second
 	res := startCoord(hub, cfg)
 
 	w := fastWorker("slow", fp, n)
@@ -242,8 +244,8 @@ func TestDispatchExcludesFailingWorker(t *testing.T) {
 	const fp, n = "fp-excl", 5
 	hub := NewHub()
 	cfg := testConfig(fp, n)
-	cfg.WorkerFailures = 2
-	cfg.CellRetries = 50 // the budget under test is the worker's, not the cells'
+	cfg.Options.WorkerFailures = 2
+	cfg.Options.CellRetries = 50 // the budget under test is the worker's, not the cells'
 	res := startCoord(hub, cfg)
 
 	bad := fastWorker("bad", fp, n)
@@ -282,8 +284,8 @@ func TestDispatchRetryBudgetAborts(t *testing.T) {
 	const fp, n = "fp-budget", 3
 	hub := NewHub()
 	cfg := testConfig(fp, n)
-	cfg.CellRetries = 2
-	cfg.WorkerFailures = 100 // keep the worker in play so the cell budget trips
+	cfg.Options.CellRetries = 2
+	cfg.Options.WorkerFailures = 100 // keep the worker in play so the cell budget trips
 	res := startCoord(hub, cfg)
 
 	w := fastWorker("flaky", fp, n)
@@ -477,9 +479,9 @@ func TestDispatchChargesFailuresPerLease(t *testing.T) {
 	const fp, n = "fp-batchfail", 4
 	hub := NewHub()
 	cfg := testConfig(fp, n)
-	cfg.WorkerFailures = 3
-	cfg.CellRetries = 3
-	cfg.Idle = 5 * time.Second
+	cfg.Options.WorkerFailures = 3
+	cfg.Options.CellRetries = 3
+	cfg.Options.Idle = 5 * time.Second
 	res := startCoord(hub, cfg)
 
 	attempted := make(map[int]bool)
@@ -511,9 +513,9 @@ func TestDispatchLeaseTimeoutDrivesHeartbeat(t *testing.T) {
 	const fp, n = "fp-hbderive", 2
 	hub := NewHub()
 	cfg := testConfig(fp, n)
-	cfg.LeaseTimeout = 150 * time.Millisecond
-	cfg.WorkerFailures = 1 // one expiry would exclude the only worker
-	cfg.Idle = 5 * time.Second
+	cfg.Options.LeaseTimeout = 150 * time.Millisecond
+	cfg.Options.WorkerFailures = 1 // one expiry would exclude the only worker
+	cfg.Options.Idle = 5 * time.Second
 	res := startCoord(hub, cfg)
 
 	w := fastWorker("defaulted", fp, n)

@@ -9,15 +9,16 @@
 //	leases/lease_<worker>_<seq>.json       coordinator → worker replies
 //	stop                                   completion marker
 //
-// Every file is written through internal/atomicfile (temp + rename), so
-// pollers never observe torn JSON; readers delete what they consume.
+// File contents are wire frames (EncodeMsg/EncodeLease — the codec the
+// HTTP transport shares), written through internal/atomicfile (temp +
+// rename) so pollers never observe torn JSON; readers delete what they
+// consume.
 // The protocol tolerates lost or delayed files: workers re-request and
 // the coordinator requeues expired leases, so an eventually-consistent
 // synchronizer (rsync in a loop) only slows the sweep down.
 package dispatch
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -148,15 +149,15 @@ func (c *spoolCoord) Recv(timeout time.Duration) (*Msg, error) {
 			if err != nil {
 				continue // racing another reader or a slow sync; retry next poll
 			}
-			var m Msg
-			if err := json.Unmarshal(data, &m); err != nil || m.Version != WireVersion {
+			m, err := DecodeMsg(data)
+			if err != nil {
 				// Atomic writes make torn files impossible; anything
 				// undecodable is foreign or from a mixed-version build.
 				os.Remove(path)
 				continue
 			}
 			os.Remove(path)
-			c.queue = append(c.queue, &m)
+			c.queue = append(c.queue, m)
 		}
 		if len(c.queue) > 0 {
 			continue
@@ -170,12 +171,12 @@ func (c *spoolCoord) Recv(timeout time.Duration) (*Msg, error) {
 
 // Send implements Transport.
 func (c *spoolCoord) Send(l *Lease) error {
-	data, err := json.Marshal(l)
+	data, err := EncodeLease(l)
 	if err != nil {
 		return err
 	}
 	name := fmt.Sprintf("lease_%s_%d.json", l.Worker, l.Seq)
-	return atomicfile.Write(filepath.Join(c.s.leaseDir(), name), append(data, '\n'), 0o644)
+	return atomicfile.Write(filepath.Join(c.s.leaseDir(), name), data, 0o644)
 }
 
 // Finish implements Transport: drop the stop marker every worker polls.
@@ -199,12 +200,12 @@ type spoolWorker struct {
 
 // Send implements WorkerTransport.
 func (w *spoolWorker) Send(m *Msg) error {
-	data, err := json.Marshal(m)
+	data, err := EncodeMsg(m)
 	if err != nil {
 		return err
 	}
 	name := fmt.Sprintf("m_%s_%012d.json", w.id, w.seq.Add(1))
-	return atomicfile.Write(filepath.Join(w.s.inboxDir(), name), append(data, '\n'), 0o644)
+	return atomicfile.Write(filepath.Join(w.s.inboxDir(), name), data, 0o644)
 }
 
 // RecvLease implements WorkerTransport.
@@ -215,13 +216,13 @@ func (w *spoolWorker) RecvLease(seq int, timeout time.Duration) (*Lease, error) 
 	for {
 		data, err := os.ReadFile(path)
 		if err == nil {
-			var l Lease
-			if err := json.Unmarshal(data, &l); err != nil || l.Version != WireVersion {
+			l, err := DecodeLease(data)
+			if err != nil {
 				os.Remove(path)
-				return nil, fmt.Errorf("dispatch: undecodable lease %s (mixed-version fleet?)", path)
+				return nil, fmt.Errorf("dispatch: undecodable lease %s: %w", path, err)
 			}
 			os.Remove(path)
-			return &l, nil
+			return l, nil
 		}
 		if w.s.stopped() {
 			return &Lease{Version: WireVersion, Worker: w.id, Stop: true}, nil

@@ -1,0 +1,68 @@
+// The dispatch wire codec: one versioned JSON framing for Msg and
+// Lease, shared by every serializing transport (the file spool and the
+// HTTP transport) so the two cannot drift apart. The in-process hub
+// passes structs directly and never touches it.
+//
+// A frame is the struct's JSON encoding with a trailing newline; the
+// encoder stamps WireVersion and the decoder rejects anything else, so
+// a mixed-build fleet fails loudly instead of merging garbage.
+package dispatch
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// ErrWireVersion marks a frame written by a build with a different
+// WireVersion. Transports that can tell foreign files from torn ones
+// (the spool) match it with errors.Is.
+var ErrWireVersion = errors.New("dispatch: wire version mismatch (mixed-version fleet?)")
+
+// EncodeMsg renders one worker → coordinator message as a wire frame,
+// stamping the version.
+func EncodeMsg(m *Msg) ([]byte, error) {
+	frame := *m
+	frame.Version = WireVersion
+	data, err := json.Marshal(&frame)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: encode msg: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeMsg parses one message frame, rejecting foreign versions.
+func DecodeMsg(data []byte) (*Msg, error) {
+	var m Msg
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("dispatch: corrupt msg frame: %w", err)
+	}
+	if m.Version != WireVersion {
+		return nil, fmt.Errorf("msg version %d, this build speaks %d: %w", m.Version, WireVersion, ErrWireVersion)
+	}
+	return &m, nil
+}
+
+// EncodeLease renders one coordinator → worker lease reply as a wire
+// frame, stamping the version.
+func EncodeLease(l *Lease) ([]byte, error) {
+	frame := *l
+	frame.Version = WireVersion
+	data, err := json.Marshal(&frame)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: encode lease: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeLease parses one lease frame, rejecting foreign versions.
+func DecodeLease(data []byte) (*Lease, error) {
+	var l Lease
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("dispatch: corrupt lease frame: %w", err)
+	}
+	if l.Version != WireVersion {
+		return nil, fmt.Errorf("lease version %d, this build speaks %d: %w", l.Version, WireVersion, ErrWireVersion)
+	}
+	return &l, nil
+}

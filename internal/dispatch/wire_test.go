@@ -1,0 +1,102 @@
+package dispatch
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"exegpt/internal/distsweep"
+	"exegpt/internal/experiments"
+)
+
+// TestWireMsgRoundTrip: the codec must preserve every field and frame
+// each message as one newline-terminated line.
+func TestWireMsgRoundTrip(t *testing.T) {
+	env := distsweep.NewCellEnvelope("fp-wire", 4, experiments.CellResult{Cell: 2, Evals: 7})
+	in := &Msg{Type: MsgResult, Worker: "w1", Seq: 3, Result: env}
+	data, err := EncodeMsg(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(data, []byte("\n")) {
+		t.Fatal("frame not newline-terminated")
+	}
+	out, err := DecodeMsg(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Version != WireVersion {
+		t.Fatalf("encode did not stamp the wire version: got %d", out.Version)
+	}
+	if out.Type != in.Type || out.Worker != in.Worker || out.Seq != in.Seq {
+		t.Fatalf("round trip mangled the message: %+v", out)
+	}
+	if out.Result == nil || out.Result.Result.Cell != 2 || out.Result.Fingerprint != "fp-wire" {
+		t.Fatalf("round trip mangled the result envelope: %+v", out.Result)
+	}
+}
+
+// TestWireLeaseRoundTrip mirrors the message round trip for leases.
+func TestWireLeaseRoundTrip(t *testing.T) {
+	in := &Lease{Worker: "w1", Seq: 9, Cells: []int{3, 1, 4}, TimeoutMS: 1500, Stop: false}
+	data, err := EncodeLease(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeLease(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Version != WireVersion || out.Worker != "w1" || out.Seq != 9 ||
+		out.TimeoutMS != 1500 || len(out.Cells) != 3 || out.Cells[0] != 3 {
+		t.Fatalf("round trip mangled the lease: %+v", out)
+	}
+}
+
+// TestWireRejectsVersionMismatch: frames from a differently-versioned
+// build must fail with the sentinel, so mixed fleets die loudly.
+func TestWireRejectsVersionMismatch(t *testing.T) {
+	if _, err := DecodeMsg([]byte(`{"version":99,"type":1,"worker":"w"}`)); !errors.Is(err, ErrWireVersion) {
+		t.Fatalf("mixed-version msg: got %v, want ErrWireVersion", err)
+	}
+	if _, err := DecodeLease([]byte(`{"version":0,"worker":"w","seq":1}`)); !errors.Is(err, ErrWireVersion) {
+		t.Fatalf("unversioned lease: got %v, want ErrWireVersion", err)
+	}
+}
+
+// TestWireRejectsGarbage: torn or non-JSON frames must error, not
+// half-decode.
+func TestWireRejectsGarbage(t *testing.T) {
+	for _, torn := range []string{"", "{", `{"version":1,"type":3,"worker":"w","resu`, "not json\n"} {
+		if _, err := DecodeMsg([]byte(torn)); err == nil {
+			t.Errorf("DecodeMsg(%q) accepted", torn)
+		}
+		if _, err := DecodeLease([]byte(torn)); err == nil {
+			t.Errorf("DecodeLease(%q) accepted", torn)
+		}
+	}
+}
+
+// TestOptionsDefaultsValidate: Defaults must validate, zero-valued
+// fields must resolve to defaults, and negatives must be rejected.
+func TestOptionsDefaultsValidate(t *testing.T) {
+	if err := Defaults().Validate(); err != nil {
+		t.Fatalf("Defaults() invalid: %v", err)
+	}
+	resolved := Options{}.withDefaults()
+	d := Defaults()
+	if resolved.LeaseTimeout != d.LeaseTimeout || resolved.LeaseCells != d.LeaseCells ||
+		resolved.CellRetries != d.CellRetries || resolved.WorkerFailures != d.WorkerFailures {
+		t.Fatalf("zero Options resolved to %+v, want defaults %+v", resolved, d)
+	}
+	if resolved.Idle != 0 {
+		t.Fatalf("zero Idle must stay 0 (wait forever), got %v", resolved.Idle)
+	}
+	for _, bad := range []Options{
+		{LeaseTimeout: -1}, {LeaseCells: -2}, {CellRetries: -1}, {WorkerFailures: -3}, {Idle: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Options %+v validated", bad)
+		}
+	}
+}

@@ -1,10 +1,11 @@
 // Local process spawning: the -spawn convenience mode of `exegpt
 // sweep`, which forks one worker process per shard on this machine so a
-// sharded sweep runs end to end on one box, and the generalized
-// SpawnArgs used by the dispatch CLI to fork pull workers. Multi-host
-// dispatch goes through the file-spool transport (see internal/dispatch
-// and the README runbook): workers are plain processes that only need
-// the binary, the flags and a shared spool/profile-cache directory.
+// sharded sweep runs end to end on one box, and the generalized Fleet /
+// SpawnArgs used by the dispatch CLI to fork or ssh-launch pull
+// workers. Fleet keeps each worker's stderr tail readable *while the
+// fleet runs*, so the dispatch coordinator can attach a dying worker's
+// last words to its lease-failure exclusion events instead of only
+// surfacing them after the whole fleet exits.
 package distsweep
 
 import (
@@ -23,12 +24,17 @@ import (
 const stderrTailLimit = 4096
 
 // tailWriter retains the last tail of everything written through it.
+// Safe for concurrent Write/String: the worker process streams into it
+// while the coordinator reads it for status reports.
 type tailWriter struct {
+	mu    sync.Mutex
 	buf   []byte
 	limit int
 }
 
 func (w *tailWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	w.buf = append(w.buf, p...)
 	if len(w.buf) > w.limit {
 		w.buf = append(w.buf[:0], w.buf[len(w.buf)-w.limit:]...)
@@ -36,7 +42,11 @@ func (w *tailWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-func (w *tailWriter) String() string { return string(w.buf) }
+func (w *tailWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return string(w.buf)
+}
 
 // SpawnLocal forks one worker process per shard — `bin baseArgs...
 // -shards N -shard-index i -out outDir/shard_i.json` — waits for all of
@@ -63,47 +73,84 @@ func SpawnLocal(bin string, baseArgs []string, shards int, outDir string) ([]str
 	return paths, nil
 }
 
-// SpawnArgs forks one `bin argv...` process per argument vector and
-// waits for all of them. Worker output goes to this process's stderr.
-// If a later fork fails, the already-started workers are killed and
-// waited for rather than leaked. Every started worker is always waited
-// for; the returned error joins every failure, each carrying the tail
-// of that worker's stderr.
-func SpawnArgs(bin string, argvs [][]string) error {
-	cmds := make([]*exec.Cmd, 0, len(argvs))
-	tails := make([]*tailWriter, 0, len(argvs))
+// Fleet is a set of started worker processes. Their stderr tails are
+// readable by name while they run; Wait joins their exit statuses.
+type Fleet struct {
+	cmds  []*exec.Cmd
+	tails map[string]*tailWriter
+	names []string
+}
+
+// StartFleet forks one `bin argv...` process per argument vector.
+// names[i] labels worker i in errors and StderrTail lookups; a nil or
+// short names slice falls back to the worker's index. Worker output
+// goes to this process's stderr (tee'd into the tail buffers). If a
+// later fork fails, the already-started workers are killed and waited
+// for rather than leaked.
+func StartFleet(bin string, argvs [][]string, names []string) (*Fleet, error) {
+	f := &Fleet{tails: make(map[string]*tailWriter, len(argvs))}
 	for i, argv := range argvs {
+		name := strconv.Itoa(i)
+		if i < len(names) && names[i] != "" {
+			name = names[i]
+		}
 		tail := &tailWriter{limit: stderrTailLimit}
 		cmd := exec.Command(bin, argv...)
 		cmd.Stdout = os.Stderr
 		cmd.Stderr = io.MultiWriter(os.Stderr, tail)
 		if err := cmd.Start(); err != nil {
-			for _, running := range cmds {
+			for _, running := range f.cmds {
 				running.Process.Kill()
 			}
-			for _, running := range cmds {
+			for _, running := range f.cmds {
 				running.Wait()
 			}
-			return fmt.Errorf("distsweep: start worker %d: %w", i, err)
+			return nil, fmt.Errorf("distsweep: start worker %s: %w", name, err)
 		}
-		cmds = append(cmds, cmd)
-		tails = append(tails, tail)
+		f.cmds = append(f.cmds, cmd)
+		f.names = append(f.names, name)
+		f.tails[name] = tail
 	}
-	errs := make([]error, len(cmds))
+	return f, nil
+}
+
+// StderrTail returns the current tail of the named worker's stderr
+// (empty for unknown names). Safe to call while the fleet runs.
+func (f *Fleet) StderrTail(name string) string {
+	if tail, ok := f.tails[name]; ok {
+		return tail.String()
+	}
+	return ""
+}
+
+// Wait waits for every worker. The returned error joins every failure,
+// each carrying the tail of that worker's stderr.
+func (f *Fleet) Wait() error {
+	errs := make([]error, len(f.cmds))
 	var wg sync.WaitGroup
-	for i, cmd := range cmds {
+	for i, cmd := range f.cmds {
 		wg.Add(1)
 		go func(i int, cmd *exec.Cmd) {
 			defer wg.Done()
 			if err := cmd.Wait(); err != nil {
-				if tail := tails[i].String(); tail != "" {
-					errs[i] = fmt.Errorf("distsweep: worker %d: %w; stderr tail:\n%s", i, err, tail)
+				if tail := f.tails[f.names[i]].String(); tail != "" {
+					errs[i] = fmt.Errorf("distsweep: worker %s: %w; stderr tail:\n%s", f.names[i], err, tail)
 				} else {
-					errs[i] = fmt.Errorf("distsweep: worker %d: %w", i, err)
+					errs[i] = fmt.Errorf("distsweep: worker %s: %w", f.names[i], err)
 				}
 			}
 		}(i, cmd)
 	}
 	wg.Wait()
 	return errors.Join(errs...)
+}
+
+// SpawnArgs forks one `bin argv...` process per argument vector and
+// waits for all of them.
+func SpawnArgs(bin string, argvs [][]string) error {
+	f, err := StartFleet(bin, argvs, nil)
+	if err != nil {
+		return err
+	}
+	return f.Wait()
 }

@@ -3,6 +3,7 @@ package distsweep
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestSpawnArgsPropagatesStderrTail: a failing worker's error must
@@ -59,5 +60,60 @@ func TestTailWriterKeepsTail(t *testing.T) {
 	w.Write([]byte("ZZ"))
 	if got := w.String(); got != "abcdefZZ" {
 		t.Fatalf("tail after second write = %q, want %q", got, "abcdefZZ")
+	}
+}
+
+// TestFleetLiveStderrTails: a fleet's per-worker stderr tails must be
+// readable by name *while the workers run* — the dispatch coordinator
+// reads them mid-sweep to explain lease-failure exclusions — and an
+// unknown name must read as empty rather than panic.
+func TestFleetLiveStderrTails(t *testing.T) {
+	fleet, err := StartFleet("/bin/sh", [][]string{
+		{"-c", "echo alpha-worker-warming >&2; sleep 5"},
+		{"-c", "echo beta-worker-warming >&2; sleep 5"},
+	}, []string{"alpha", "beta"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, cmd := range fleet.cmds {
+			cmd.Process.Kill()
+		}
+		fleet.Wait()
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		a, b := fleet.StderrTail("alpha"), fleet.StderrTail("beta")
+		if strings.Contains(a, "alpha-worker-warming") && strings.Contains(b, "beta-worker-warming") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("live tails never surfaced: alpha=%q beta=%q", a, b)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := fleet.StderrTail("nonesuch"); got != "" {
+		t.Fatalf("unknown worker tail = %q, want empty", got)
+	}
+}
+
+// TestFleetNamesInErrors: Wait's joined error names workers by their
+// given fleet names, not bare indices.
+func TestFleetNamesInErrors(t *testing.T) {
+	fleet, err := StartFleet("/bin/sh", [][]string{
+		{"-c", "echo gpu-host-died >&2; exit 7"},
+	}, []string{"host0-gpu1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := fleet.Wait()
+	if werr == nil {
+		t.Fatal("failing fleet reported no error")
+	}
+	for _, want := range []string{"host0-gpu1", "gpu-host-died"} {
+		if !strings.Contains(werr.Error(), want) {
+			t.Errorf("fleet error missing %q: %v", want, werr)
+		}
 	}
 }

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-report sweep-sharded sweep-dispatch sweep-http clean
+.PHONY: all build test race lint bench bench-report sweep-sharded sweep-dispatch sweep-http sweep-resume clean
 
 all: build
 
@@ -80,6 +80,41 @@ sweep-http: build
 	cmp $(HTTP_DIR)/single.json $(HTTP_DIR)/http.json
 	@echo "HTTP-dispatched sweep == single-process sweep (byte-identical)"
 
+# Crash-and-resume HTTP sweep: a journaled HTTP coordinator is
+# SIGKILLed mid-run (one of its workers is too), then a fresh
+# coordinator replays the journal on the same address and finishes the
+# remaining cells; the resumed artifact must be byte-identical to the
+# single-process sweep's. -requests 20000 slows each cell to ~1s so the
+# kill reliably lands while cells are still outstanding (a kill landing
+# after completion still resumes and compares clean — just less
+# interestingly).
+RESUME_DIR := .resume-demo
+RESUME_ADDR := 127.0.0.1:18091
+RESUME_GRID := -quick -requests 20000 -models OPT-13B -tasks S,T,G
+sweep-resume: build
+	rm -rf $(RESUME_DIR) && mkdir -p $(RESUME_DIR)/profiles
+	./exegpt sweep $(RESUME_GRID) \
+		-profile-cache $(RESUME_DIR)/profiles -json $(RESUME_DIR)/single.json > /dev/null
+	./exegpt dispatch $(RESUME_GRID) \
+		-profile-cache $(RESUME_DIR)/profiles -http $(RESUME_ADDR) \
+		-journal $(RESUME_DIR)/journal \
+		-lease-timeout 3s -dispatch-idle 60s > /dev/null & \
+	C1=$$!; \
+	./exegpt sweep $(RESUME_GRID) \
+		-profile-cache $(RESUME_DIR)/profiles -mode pull -connect http://$(RESUME_ADDR) -worker-id w1 & \
+	W1=$$!; \
+	./exegpt sweep $(RESUME_GRID) -dispatch-idle 30s \
+		-profile-cache $(RESUME_DIR)/profiles -mode pull -connect http://$(RESUME_ADDR) -worker-id w2 || true & \
+	sleep 0.3; kill -9 $$W1 2>/dev/null; \
+	sleep 1.0; kill -9 $$C1 2>/dev/null; \
+	./exegpt sweep $(RESUME_GRID) \
+		-profile-cache $(RESUME_DIR)/profiles -mode dispatch -http $(RESUME_ADDR) \
+		-dispatch-workers 1 -journal $(RESUME_DIR)/journal \
+		-lease-timeout 3s -dispatch-idle 60s -json $(RESUME_DIR)/resumed.json > /dev/null; \
+	wait
+	cmp $(RESUME_DIR)/single.json $(RESUME_DIR)/resumed.json
+	@echo "journal-resumed sweep == single-process sweep (byte-identical)"
+
 lint:
 	$(GO) vet ./...
 	@unformatted=$$(gofmt -l .); \
@@ -99,4 +134,4 @@ bench-report: build
 
 clean:
 	rm -f exegpt
-	rm -rf $(SHARD_DIR) $(DISPATCH_DIR) $(HTTP_DIR)
+	rm -rf $(SHARD_DIR) $(DISPATCH_DIR) $(HTTP_DIR) $(RESUME_DIR)

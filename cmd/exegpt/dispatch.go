@@ -263,7 +263,22 @@ func runPullWorker(ctx *experiments.Context, grid experiments.SweepGrid, fp, spo
 // transport — plus its worker fleet: local pull-worker processes by
 // default, or one ssh-launched worker per -hosts entry.
 func runDispatch(ctx *experiments.Context, grid experiments.SweepGrid, g *gridFlagSet,
-	fp, spoolDir, httpAddr, hosts, remoteBin string, workers int, opts dispatch.Options, jsonOut string) error {
+	fp, spoolDir, httpAddr, hosts, remoteBin string, workers int, opts dispatch.Options,
+	journalDir, jsonOut string) error {
+
+	// Open (and replay) the journal before spending anything on
+	// transports or workers: a resume that recovered every cell skips
+	// the fleet launch entirely.
+	cells := len(grid.Cells())
+	cfg := coordConfig(fp, cells, opts, nil)
+	j, err := openJournal(journalDir, fp, cells, opts, &cfg)
+	if err != nil {
+		return err
+	}
+	if j != nil {
+		defer j.Close()
+	}
+	allRecovered := len(cfg.Completed) == cells
 
 	var ct dispatch.Transport
 	var hc *httpCoord
@@ -325,14 +340,19 @@ func runDispatch(ctx *experiments.Context, grid experiments.SweepGrid, g *gridFl
 		spoolDir = dir
 	}
 
-	// attachArgs is how a worker reaches this coordinator.
+	// attachArgs is how a worker reaches this coordinator. The
+	// coordinator's idle budget doubles as the worker's: a worker that
+	// attaches after the run already finished (a journal resume with
+	// nothing left) gives up within it instead of retrying for the
+	// 10-minute default.
 	attachArgs := func(id string) []string {
+		args := []string{"-worker-id", id,
+			"-lease-cells", strconv.Itoa(opts.LeaseCells),
+			"-dispatch-idle", opts.Idle.String()}
 		if connectURL != "" {
-			return []string{"-pull", "-connect", connectURL, "-worker-id", id,
-				"-lease-cells", strconv.Itoa(opts.LeaseCells)}
+			return append([]string{"-pull", "-connect", connectURL}, args...)
 		}
-		return []string{"-pull", "-spool", spoolDir, "-worker-id", id,
-			"-lease-cells", strconv.Itoa(opts.LeaseCells)}
+		return append([]string{"-pull", "-spool", spoolDir}, args...)
 	}
 
 	// Launch the fleet. Worker failures are tolerated by design — the
@@ -340,7 +360,13 @@ func runDispatch(ctx *experiments.Context, grid experiments.SweepGrid, g *gridFl
 	// warnings unless the coordinator itself fails.
 	var fleet *distsweep.Fleet
 	var names []string
-	if hosts != "" {
+	switch {
+	case allRecovered:
+		// Every cell came back from the journal: the coordinator
+		// completes without evaluating anything, so a fleet would only
+		// attach to a finished run.
+		fmt.Fprintf(os.Stderr, "sweep: journal already covers all %d cells; skipping worker launch\n", cells)
+	case hosts != "":
 		targets := strings.Split(hosts, ",")
 		var argvs [][]string
 		for i, h := range targets {
@@ -359,11 +385,10 @@ func runDispatch(ctx *experiments.Context, grid experiments.SweepGrid, g *gridFl
 			return fmt.Errorf("-hosts %q names no hosts", hosts)
 		}
 		fmt.Fprintf(os.Stderr, "sweep: dispatching to %d ssh workers\n", len(argvs))
-		var err error
 		if fleet, err = distsweep.StartFleet("ssh", argvs, names); err != nil {
 			return err
 		}
-	} else {
+	default:
 		if workers < 1 {
 			return fmt.Errorf("-dispatch-workers %d < 1", workers)
 		}
@@ -393,9 +418,11 @@ func runDispatch(ctx *experiments.Context, grid experiments.SweepGrid, g *gridFl
 		}
 	}
 
-	cfg := coordConfig(fp, len(grid.Cells()), opts, fleet.StderrTail)
+	if fleet != nil {
+		cfg.StderrTail = fleet.StderrTail
+	}
+	defer installInterrupt(&cfg)()
 	var merged *distsweep.Merged
-	var err error
 	if hc != nil {
 		merged, err = hc.run(cfg)
 	} else {
@@ -403,8 +430,12 @@ func runDispatch(ctx *experiments.Context, grid experiments.SweepGrid, g *gridFl
 	}
 	// The stop signal is down (every coordinator path finishes the
 	// transport), so the fleet drains; surface its exit status.
-	werr := fleet.Wait()
+	var werr error
+	if fleet != nil {
+		werr = fleet.Wait()
+	}
 	if err != nil {
+		resumeHint(err, journalDir)
 		return err
 	}
 	if werr != nil {
@@ -425,6 +456,7 @@ func cmdDispatch(args []string) error {
 	d := dispatchFlags(fs)
 	spoolDir := fs.String("spool", "", "serve over this spool directory shared with the pull workers")
 	httpAddr := fs.String("http", "", "serve the coordinator's HTTP API on this address (host:port; workers attach with sweep -pull -connect)")
+	journalDir := fs.String("journal", "", "journal every accepted result in this directory; rerunning with the same directory resumes an interrupted sweep")
 	jsonOut := fs.String("json", "", "write the merged sweep (rows, evals, frontiers) as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -446,6 +478,14 @@ func cmdDispatch(args []string) error {
 		return err
 	}
 	cfg := coordConfig(fp, len(grid.Cells()), opts, nil)
+	j, err := openJournal(*journalDir, fp, len(grid.Cells()), opts, &cfg)
+	if err != nil {
+		return err
+	}
+	if j != nil {
+		defer j.Close()
+	}
+	defer installInterrupt(&cfg)()
 
 	if *httpAddr != "" {
 		hc, err := listenHTTP(*httpAddr)
@@ -456,6 +496,7 @@ func cmdDispatch(args []string) error {
 			len(grid.Cells()), hc.ln.Addr(), fp, hc.localURL())
 		merged, err := hc.run(cfg)
 		if err != nil {
+			resumeHint(err, *journalDir)
 			return err
 		}
 		return printMerged(merged, grid, *jsonOut)
@@ -473,6 +514,7 @@ func cmdDispatch(args []string) error {
 	}
 	merged, err := dispatch.Run(ct, cfg)
 	if err != nil {
+		resumeHint(err, *journalDir)
 		return err
 	}
 	return printMerged(merged, grid, *jsonOut)

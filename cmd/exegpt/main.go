@@ -83,12 +83,15 @@ Commands:
             spawn (static shards across processes), dispatch (work-stealing
             coordinator over a file -spool or an -http API) or pull (worker
             attaching via -spool or -connect URL); the legacy
-            -shard-index/-spawn/-dispatch/-pull spellings still work
+            -shard-index/-spawn/-dispatch/-pull spellings still work;
+            -journal DIR makes a dispatch sweep crash-safe and resumable
+            (rerun with the same flags to pick it back up)
   merge     merge shard envelopes (exegpt sweep -shards ... -out ...) into
             the single-process sweep output
   dispatch  serve a standalone work-stealing coordinator over a -spool
             directory or an -http address; operators attach "exegpt sweep
-            -mode pull" workers at any time, from any reachable host
+            -mode pull" workers at any time, from any reachable host;
+            -journal DIR journals accepted results for kill -9-safe resume
   figures   regenerate the paper's figures (6, 7, 8, 9, 10, 11)
   tables    regenerate the paper's tables (1-7) and the scheduling-cost study
   bench     measure Estimate/s and FindBest wall time, write BENCH_estimate.json

@@ -61,6 +61,7 @@ func cmdSweep(args []string) error {
 	httpAddr := fs.String("http", "", "dispatch mode: serve the coordinator's HTTP API on this host:port instead of a file spool")
 	connect := fs.String("connect", "", "pull mode: attach to the coordinator's HTTP API at this URL (e.g. http://gpu1:8080)")
 	workerID := fs.String("worker-id", "", "pull mode: this worker's name in leases and logs (default: host-pid)")
+	journalDir := fs.String("journal", "", "dispatch mode: journal every accepted result in this directory; rerunning with the same directory resumes an interrupted sweep")
 	d := dispatchFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,6 +90,7 @@ func cmdSweep(args []string) error {
 	if err := validateSweepMode(m, sweepModeFlags{
 		shards: *shards, out: *outPath, shardDir: *shardDir, hosts: *hosts,
 		spool: *spoolDir, http: *httpAddr, connect: *connect, workerID: *workerID,
+		journal: *journalDir,
 	}); err != nil {
 		return err
 	}
@@ -99,7 +101,7 @@ func cmdSweep(args []string) error {
 
 	case modeDispatch:
 		return runDispatch(ctx, grid, g, fp, *spoolDir, *httpAddr, *hosts, *remoteBin,
-			*dispatchWorkers, opts, *jsonOut)
+			*dispatchWorkers, opts, *journalDir, *jsonOut)
 
 	case modeWorker:
 		idx := *shardIndex

@@ -71,6 +71,7 @@ type sweepModeFlags struct {
 	http     string
 	connect  string
 	workerID string
+	journal  string
 }
 
 // validateSweepMode rejects flag combinations the selected mode cannot
@@ -93,17 +94,18 @@ func validateSweepMode(m sweepMode, f sweepModeFlags) error {
 		return reject([2]string{"-out", f.out}, [2]string{"-shard-dir", f.shardDir},
 			[2]string{"-hosts", f.hosts}, [2]string{"-spool", f.spool},
 			[2]string{"-http", f.http}, [2]string{"-connect", f.connect},
-			[2]string{"-worker-id", f.workerID})
+			[2]string{"-worker-id", f.workerID}, [2]string{"-journal", f.journal})
 	case modeWorker:
 		if f.out == "" {
 			return fmt.Errorf("-mode worker needs -out for the shard envelope")
 		}
 		return reject([2]string{"-hosts", f.hosts}, [2]string{"-spool", f.spool},
-			[2]string{"-http", f.http}, [2]string{"-connect", f.connect})
+			[2]string{"-http", f.http}, [2]string{"-connect", f.connect},
+			[2]string{"-journal", f.journal})
 	case modeSpawn:
 		return reject([2]string{"-out", f.out}, [2]string{"-hosts", f.hosts},
 			[2]string{"-spool", f.spool}, [2]string{"-http", f.http},
-			[2]string{"-connect", f.connect})
+			[2]string{"-connect", f.connect}, [2]string{"-journal", f.journal})
 	case modeDispatch:
 		if f.spool != "" && f.http != "" {
 			return fmt.Errorf("-mode dispatch uses one transport: -spool DIR (file spool) or -http ADDR (HTTP API), not both")
@@ -115,7 +117,8 @@ func validateSweepMode(m sweepMode, f sweepModeFlags) error {
 			return fmt.Errorf("-mode pull attaches to exactly one coordinator: give -spool DIR (file spool) or -connect URL (HTTP API)")
 		}
 		return reject([2]string{"-out", f.out}, [2]string{"-shard-dir", f.shardDir},
-			[2]string{"-hosts", f.hosts}, [2]string{"-http", f.http})
+			[2]string{"-hosts", f.hosts}, [2]string{"-http", f.http},
+			[2]string{"-journal", f.journal})
 	}
 	return nil
 }

@@ -1,18 +1,21 @@
 package httptransport_test
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"exegpt/internal/dispatch"
 	"exegpt/internal/dispatch/httptransport"
+	"exegpt/internal/dispatch/journal"
 	"exegpt/internal/dispatch/transporttest"
 	"exegpt/internal/distsweep"
 	"exegpt/internal/experiments"
@@ -258,6 +261,320 @@ func TestDrainStops(t *testing.T) {
 	}
 	if !srv.DrainStops(5 * time.Second) {
 		t.Fatal("DrainStops never observed the delivered Stop")
+	}
+}
+
+// httpStatus is the status endpoint's JSON shape for these tests.
+type httpStatus struct {
+	dispatch.Status
+	Finished bool `json:"finished"`
+}
+
+func getStatus(t *testing.T, url string) httpStatus {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st httpStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("status not JSON: %v\n%s", err, body)
+	}
+	return st
+}
+
+// TestStatusUnderChurn hammers the status endpoint while the run churns
+// — leases expiring under a deadbeat, a worker failing its way to
+// exclusion, honest workers finishing — and checks every snapshot holds
+// the endpoint's invariants: counters within bounds, workers sorted,
+// and the final state naming the excluded worker with its stderr tail.
+func TestStatusUnderChurn(t *testing.T) {
+	const fp, n = "fp-http-churn", 8
+	srv, hs := newTestCoord(t)
+
+	cfg := dispatch.Config{
+		Fingerprint: fp, Cells: n,
+		Options: dispatch.Options{
+			LeaseTimeout:   150 * time.Millisecond,
+			CellRetries:    50,
+			WorkerFailures: 1,
+			Idle:           30 * time.Second,
+		},
+		StderrTail: func(w string) string {
+			if w == "crasher" {
+				return "CUDA out of memory on device 0\n"
+			}
+			return ""
+		},
+	}
+	res := make(chan error, 1)
+	go func() {
+		_, err := dispatch.Run(srv, cfg)
+		res <- err
+	}()
+
+	// Poll the endpoint concurrently for the whole run; record the first
+	// invariant violation rather than t.Fatal-ing off the test goroutine.
+	var (
+		pollMu    sync.Mutex
+		pollErr   error
+		pollStop  = make(chan struct{})
+		pollEnded = make(chan struct{})
+	)
+	complain := func(format string, args ...any) {
+		pollMu.Lock()
+		if pollErr == nil {
+			pollErr = fmt.Errorf(format, args...)
+		}
+		pollMu.Unlock()
+	}
+	go func() {
+		defer close(pollEnded)
+		for {
+			select {
+			case <-pollStop:
+				return
+			default:
+			}
+			resp, err := http.Get(hs.URL + "/v1/status")
+			if err != nil {
+				complain("status poll: %v", err)
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				complain("status poll body: %v", err)
+				return
+			}
+			var st httpStatus
+			if err := json.Unmarshal(body, &st); err != nil {
+				complain("status not JSON under churn: %v\n%s", err, body)
+				return
+			}
+			if st.Total != n || st.Done > n || st.Queued > n || st.Done < 0 || st.Queued < 0 {
+				complain("status counters out of bounds: %+v", st.Status)
+				return
+			}
+			for i := 1; i < len(st.Workers); i++ {
+				if st.Workers[i-1].Worker > st.Workers[i].Worker {
+					complain("workers not sorted under churn: %+v", st.Workers)
+					return
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	// Churn source 1: a deadbeat takes a lease by hand and abandons it.
+	dead := dialWorker(t, hs.URL, "deadbeat")
+	dead.Send(&dispatch.Msg{Version: dispatch.WireVersion, Type: dispatch.MsgRequest,
+		Worker: "deadbeat", Seq: 1, Max: 2})
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		l, err := dead.RecvLease(1, 100*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l != nil {
+			break
+		}
+	}
+
+	// Churn source 2: a worker whose every evaluation fails.
+	crasher := &dispatch.Worker{
+		ID: "crasher", Fingerprint: fp, Cells: n,
+		Heartbeat: 30 * time.Millisecond,
+		Poll:      10 * time.Millisecond,
+		Idle:      30 * time.Second,
+		Eval: func(c int) (experiments.CellResult, error) {
+			return experiments.CellResult{}, fmt.Errorf("kernel panic on cell %d", c)
+		},
+	}
+	go crasher.Run(dialWorker(t, hs.URL, "crasher"))
+
+	// Honest workers drain the grid through the churn.
+	for _, id := range []string{"w1", "w2"} {
+		w := &dispatch.Worker{
+			ID: id, Fingerprint: fp, Cells: n,
+			Heartbeat: 30 * time.Millisecond,
+			Poll:      10 * time.Millisecond,
+			Idle:      30 * time.Second,
+			Eval:      func(c int) (experiments.CellResult, error) { return fakeCell(c), nil },
+		}
+		go w.Run(dialWorker(t, hs.URL, id))
+	}
+
+	if err := <-res; err != nil {
+		t.Fatal(err)
+	}
+	close(pollStop)
+	<-pollEnded
+	pollMu.Lock()
+	perr := pollErr
+	pollMu.Unlock()
+	if perr != nil {
+		t.Fatal(perr)
+	}
+
+	st := getStatus(t, hs.URL)
+	if !st.Finished || st.Done != n {
+		t.Fatalf("post-churn status: finished %v done %d, want true and %d", st.Finished, st.Done, n)
+	}
+	var crasherWS *dispatch.WorkerStatus
+	for i := range st.Workers {
+		if st.Workers[i].Worker == "crasher" {
+			crasherWS = &st.Workers[i]
+		}
+	}
+	if crasherWS == nil || !crasherWS.Excluded {
+		t.Fatalf("crasher not excluded in final status: %+v", st.Workers)
+	}
+	for _, want := range []string{"kernel panic", "CUDA out of memory"} {
+		if !strings.Contains(crasherWS.LastError, want) {
+			t.Errorf("exclusion reason missing %q: %q", want, crasherWS.LastError)
+		}
+	}
+}
+
+// TestStatusSurvivesJournalReplay: a worker excluded (with its stderr
+// tail) before the coordinator dies must still appear excluded — with
+// the same reason — on the restarted coordinator's status endpoint,
+// because the exclusion was journaled, not just held in memory.
+func TestStatusSurvivesJournalReplay(t *testing.T) {
+	const fp, n = "fp-http-replay", 4
+	dir := t.TempDir()
+	j, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.WriteHeader(journal.Header{Fingerprint: fp, Cells: n}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: a failing worker earns its exclusion, an honest worker
+	// finishes the grid, everything lands in the journal.
+	srv1, hs1 := newTestCoord(t)
+	cfg1 := dispatch.Config{
+		Fingerprint: fp, Cells: n,
+		Options: dispatch.Options{
+			LeaseTimeout:   250 * time.Millisecond,
+			CellRetries:    50,
+			WorkerFailures: 1,
+			Idle:           30 * time.Second,
+		},
+		StderrTail: func(w string) string {
+			if w == "bad" {
+				return "CUDA out of memory on device 0\n"
+			}
+			return ""
+		},
+		Journal: j,
+	}
+	res1 := make(chan error, 1)
+	go func() {
+		_, err := dispatch.Run(srv1, cfg1)
+		res1 <- err
+	}()
+	bad := &dispatch.Worker{
+		ID: "bad", Fingerprint: fp, Cells: n,
+		Heartbeat: 30 * time.Millisecond,
+		Poll:      10 * time.Millisecond,
+		Idle:      30 * time.Second,
+		Eval: func(c int) (experiments.CellResult, error) {
+			return experiments.CellResult{}, fmt.Errorf("kernel panic on cell %d", c)
+		},
+	}
+	go bad.Run(dialWorker(t, hs1.URL, "bad"))
+	// Wait for the exclusion to be journaled before letting the honest
+	// worker race the grid to completion.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(j.Exclusions()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("failing worker never excluded")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	good := &dispatch.Worker{
+		ID: "good", Fingerprint: fp, Cells: n,
+		Heartbeat: 30 * time.Millisecond,
+		Poll:      10 * time.Millisecond,
+		Idle:      30 * time.Second,
+		Eval:      func(c int) (experiments.CellResult, error) { return fakeCell(c), nil },
+	}
+	go good.Run(dialWorker(t, hs1.URL, "good"))
+	if err := <-res1; err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Phase 2: replay onto a fresh coordinator — the restart after a
+	// crash. All cells are recovered, so the run completes without a
+	// single worker, and the status endpoint still explains the
+	// exclusion.
+	j2, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(j2.Cells()) != n || len(j2.Exclusions()) != 1 {
+		t.Fatalf("journal recovered %d cells and %d exclusions, want %d and 1",
+			len(j2.Cells()), len(j2.Exclusions()), n)
+	}
+	srv2, hs2 := newTestCoord(t)
+	m, err := dispatch.Run(srv2, dispatch.Config{
+		Fingerprint: fp, Cells: n,
+		Options:    dispatch.Options{LeaseTimeout: time.Minute, Idle: 20 * time.Second},
+		Journal:    j2,
+		Completed:  j2.Cells(),
+		Exclusions: j2.Exclusions(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	envs := make([]*distsweep.CellEnvelope, n)
+	for i := 0; i < n; i++ {
+		envs[i] = distsweep.NewCellEnvelope(fp, n, fakeCell(i))
+	}
+	want, err := distsweep.MergeCells(envs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := want.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBytes, wantBytes) {
+		t.Fatal("replayed merge not byte-identical to the direct fold")
+	}
+
+	st := getStatus(t, hs2.URL)
+	if !st.Finished || st.Done != n {
+		t.Fatalf("replayed status: finished %v done %d, want true and %d", st.Finished, st.Done, n)
+	}
+	var badWS *dispatch.WorkerStatus
+	for i := range st.Workers {
+		if st.Workers[i].Worker == "bad" {
+			badWS = &st.Workers[i]
+		}
+	}
+	if badWS == nil || !badWS.Excluded {
+		t.Fatalf("journaled exclusion lost across restart: %+v", st.Workers)
+	}
+	for _, want := range []string{"kernel panic", "CUDA out of memory"} {
+		if !strings.Contains(badWS.LastError, want) {
+			t.Errorf("replayed exclusion reason missing %q: %q", want, badWS.LastError)
+		}
 	}
 }
 

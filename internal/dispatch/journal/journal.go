@@ -1,0 +1,392 @@
+// Package journal gives the dispatch coordinator a durable,
+// append-only record of a sweep, so a coordinator killed mid-run —
+// crash, OOM, SIGKILL — restarts with every accepted result intact
+// instead of restarting the sweep from zero.
+//
+// A journal directory holds one file, sweep.journal, of framed JSON
+// records:
+//
+//	[4B little-endian payload length][4B little-endian CRC-32 (IEEE)][payload]
+//
+// The first record is a header naming the sweep identity (grid
+// fingerprint, cell count, dispatch options); every record after it is
+// one accepted distsweep.CellEnvelope or one worker exclusion, fsync'd
+// before the coordinator acknowledges the event. A torn tail — a
+// record half-written when the process died — fails its length or
+// checksum and is truncated away on Open, so recovery resumes from the
+// last durable record instead of refusing a "corrupt" file. A record
+// whose checksum passes but whose content does not validate is a
+// different matter — foreign or damaged data, not a torn write — and
+// fails Open loudly.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"exegpt/internal/dispatch"
+	"exegpt/internal/distsweep"
+)
+
+// FormatVersion is the journal record-format version, stamped into the
+// header so a future format change fails loudly instead of silently
+// misreading old journals.
+const FormatVersion = 1
+
+// FileName is the journal file inside the journal directory.
+const FileName = "sweep.journal"
+
+// maxRecordBytes guards replay against absurd length prefixes from a
+// corrupted frame; a real record is a few KB of JSON.
+const maxRecordBytes = 64 << 20
+
+// frameOverhead is the per-record framing cost: length + checksum.
+const frameOverhead = 8
+
+// Options is the on-disk encoding of dispatch.Options, in explicit
+// units so the file is self-describing and stable across builds.
+type Options struct {
+	LeaseTimeoutMS int64 `json:"lease_timeout_ms"`
+	LeaseCells     int   `json:"lease_cells"`
+	CellRetries    int   `json:"cell_retries"`
+	WorkerFailures int   `json:"worker_failures"`
+	IdleMS         int64 `json:"idle_ms"`
+}
+
+// OptionsOf converts live coordinator options to their journal form.
+func OptionsOf(o dispatch.Options) Options {
+	return Options{
+		LeaseTimeoutMS: o.LeaseTimeout.Milliseconds(),
+		LeaseCells:     o.LeaseCells,
+		CellRetries:    o.CellRetries,
+		WorkerFailures: o.WorkerFailures,
+		IdleMS:         o.Idle.Milliseconds(),
+	}
+}
+
+// Dispatch converts journaled options back to live coordinator form.
+func (o Options) Dispatch() dispatch.Options {
+	return dispatch.Options{
+		LeaseTimeout:   time.Duration(o.LeaseTimeoutMS) * time.Millisecond,
+		LeaseCells:     o.LeaseCells,
+		CellRetries:    o.CellRetries,
+		WorkerFailures: o.WorkerFailures,
+		Idle:           time.Duration(o.IdleMS) * time.Millisecond,
+	}
+}
+
+// Header is the journal's first record: the identity of the sweep it
+// belongs to. A resuming coordinator must present the same grid
+// fingerprint and cell count.
+type Header struct {
+	Version     int     `json:"version"`
+	Fingerprint string  `json:"fingerprint"`
+	Cells       int     `json:"cells"`
+	Options     Options `json:"options"`
+}
+
+// record is the journal's single payload shape; exactly one field is
+// set per record.
+type record struct {
+	Header    *Header                   `json:"header,omitempty"`
+	Cell      *distsweep.CellEnvelope   `json:"cell,omitempty"`
+	Exclusion *dispatch.WorkerExclusion `json:"exclusion,omitempty"`
+}
+
+// Journal is an open journal file. It implements dispatch.Journal;
+// Append and AppendExclusion are safe for concurrent use (the
+// coordinator is single-goroutine, but a CLI may log around it).
+type Journal struct {
+	path string
+
+	mu         sync.Mutex
+	f          *os.File
+	header     *Header
+	cells      map[int]*distsweep.CellEnvelope
+	exclusions []dispatch.WorkerExclusion
+	truncated  int64
+}
+
+// Open opens (creating the directory and file if needed) the journal
+// in dir and replays its records. A torn tail is truncated away —
+// check TruncatedBytes to report it; CRC-valid records that fail
+// validation make Open fail.
+func Open(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	path := filepath.Join(dir, FileName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{path: path, f: f, cells: map[int]*distsweep.CellEnvelope{}}
+	if err := j.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// replay scans the file from the start, applying every whole,
+// checksummed record and truncating the file at the first torn one.
+func (j *Journal) replay() error {
+	data, err := io.ReadAll(j.f)
+	if err != nil {
+		return fmt.Errorf("journal: read %s: %w", j.path, err)
+	}
+	off := int64(0)
+	for off < int64(len(data)) {
+		rest := data[off:]
+		if len(rest) < frameOverhead {
+			break // torn frame header
+		}
+		length := binary.LittleEndian.Uint32(rest[:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if length == 0 || length > maxRecordBytes ||
+			int64(len(rest)) < frameOverhead+int64(length) {
+			break // torn payload, or a length prefix that is itself torn
+		}
+		payload := rest[frameOverhead : frameOverhead+length]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // torn payload
+		}
+		var rec record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			// The checksum passed, so this is not a torn write.
+			return fmt.Errorf("journal: %s: checksummed record at byte %d is undecodable: %w", j.path, off, err)
+		}
+		if err := j.apply(&rec, off); err != nil {
+			return err
+		}
+		off += frameOverhead + int64(length)
+	}
+	if tail := int64(len(data)) - off; tail > 0 {
+		// Drop the torn tail so the next append starts on a clean
+		// record boundary.
+		j.truncated = tail
+		if err := j.f.Truncate(off); err != nil {
+			return fmt.Errorf("journal: truncate torn tail of %s: %w", j.path, err)
+		}
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: fsync %s: %w", j.path, err)
+		}
+	}
+	if _, err := j.f.Seek(off, io.SeekStart); err != nil {
+		return fmt.Errorf("journal: seek %s: %w", j.path, err)
+	}
+	return nil
+}
+
+// apply folds one replayed record into the in-memory state.
+func (j *Journal) apply(rec *record, off int64) error {
+	switch {
+	case rec.Header != nil:
+		if off != 0 || j.header != nil {
+			return fmt.Errorf("journal: %s: header record at byte %d, want exactly one at byte 0", j.path, off)
+		}
+		h := *rec.Header
+		if h.Version != FormatVersion {
+			return fmt.Errorf("journal: %s is format version %d, this build reads %d", j.path, h.Version, FormatVersion)
+		}
+		if h.Fingerprint == "" || h.Cells < 1 {
+			return fmt.Errorf("journal: %s: header missing fingerprint or cell count", j.path)
+		}
+		j.header = &h
+	case rec.Cell != nil:
+		if err := j.checkCell(rec.Cell); err != nil {
+			return err
+		}
+		if c := rec.Cell.Result.Cell; j.cells[c] == nil {
+			j.cells[c] = rec.Cell
+		}
+	case rec.Exclusion != nil:
+		if j.header == nil {
+			return fmt.Errorf("journal: %s: exclusion record before the header", j.path)
+		}
+		j.exclusions = append(j.exclusions, *rec.Exclusion)
+	default:
+		return fmt.Errorf("journal: %s: empty record at byte %d", j.path, off)
+	}
+	return nil
+}
+
+// checkCell validates a cell envelope against the journal's identity.
+func (j *Journal) checkCell(env *distsweep.CellEnvelope) error {
+	if j.header == nil {
+		return fmt.Errorf("journal: %s: cell record before the header", j.path)
+	}
+	if env.Fingerprint != j.header.Fingerprint {
+		return fmt.Errorf("journal: %s: cell %d carries grid %.12s…, journal records %.12s…",
+			j.path, env.Result.Cell, env.Fingerprint, j.header.Fingerprint)
+	}
+	if env.Total != j.header.Cells {
+		return fmt.Errorf("journal: %s: cell %d is from a %d-cell grid, journal records %d",
+			j.path, env.Result.Cell, env.Total, j.header.Cells)
+	}
+	if c := env.Result.Cell; c < 0 || c >= j.header.Cells {
+		return fmt.Errorf("journal: %s: cell index %d out of range 0..%d", j.path, c, j.header.Cells-1)
+	}
+	return nil
+}
+
+// appendRecord frames, writes and fsyncs one record. Callers hold mu.
+func (j *Journal) appendRecord(rec *record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: encode record: %w", err)
+	}
+	frame := make([]byte, frameOverhead+len(payload))
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameOverhead:], payload)
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("journal: append to %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync %s: %w", j.path, err)
+	}
+	return nil
+}
+
+// WriteHeader stamps a fresh journal with the sweep's identity. It
+// must be the first write; a journal that already has a header (a
+// resume) rejects a second one.
+func (j *Journal) WriteHeader(h Header) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.header != nil {
+		return fmt.Errorf("journal: %s already has a header (resuming? read it with Header instead)", j.path)
+	}
+	if h.Fingerprint == "" {
+		return fmt.Errorf("journal: header missing grid fingerprint")
+	}
+	if h.Cells < 1 {
+		return fmt.Errorf("journal: header has %d cells", h.Cells)
+	}
+	h.Version = FormatVersion
+	if err := j.appendRecord(&record{Header: &h}); err != nil {
+		return err
+	}
+	j.header = &h
+	j.syncDir()
+	return nil
+}
+
+// syncDir fsyncs the journal's directory so the file's existence is as
+// durable as its contents. Best effort: some filesystems reject
+// directory fsync, and the record fsyncs carry the real guarantee.
+func (j *Journal) syncDir() {
+	if d, err := os.Open(filepath.Dir(j.path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Append journals one accepted cell result (dispatch.Journal). A cell
+// already journaled is a no-op — it is durable either way.
+func (j *Journal) Append(env *distsweep.CellEnvelope) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if env == nil {
+		return fmt.Errorf("journal: nil cell envelope")
+	}
+	if j.header == nil {
+		return fmt.Errorf("journal: %s: append before WriteHeader", j.path)
+	}
+	if err := j.checkCell(env); err != nil {
+		return err
+	}
+	c := env.Result.Cell
+	if j.cells[c] != nil {
+		return nil
+	}
+	if err := j.appendRecord(&record{Cell: env}); err != nil {
+		return err
+	}
+	j.cells[c] = env
+	return nil
+}
+
+// AppendExclusion journals one worker exclusion (dispatch.Journal).
+func (j *Journal) AppendExclusion(x dispatch.WorkerExclusion) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if x.Worker == "" {
+		return fmt.Errorf("journal: exclusion missing worker id")
+	}
+	if j.header == nil {
+		return fmt.Errorf("journal: %s: append before WriteHeader", j.path)
+	}
+	if err := j.appendRecord(&record{Exclusion: &x}); err != nil {
+		return err
+	}
+	j.exclusions = append(j.exclusions, x)
+	return nil
+}
+
+// Header returns a copy of the journal's header, or nil for a fresh
+// (empty) journal.
+func (j *Journal) Header() *Header {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.header == nil {
+		return nil
+	}
+	h := *j.header
+	return &h
+}
+
+// Cells returns the journaled cell envelopes in ascending cell order —
+// ready for dispatch.Config.Completed.
+func (j *Journal) Cells() []*distsweep.CellEnvelope {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	idx := make([]int, 0, len(j.cells))
+	for c := range j.cells {
+		idx = append(idx, c)
+	}
+	sort.Ints(idx)
+	out := make([]*distsweep.CellEnvelope, 0, len(idx))
+	for _, c := range idx {
+		out = append(out, j.cells[c])
+	}
+	return out
+}
+
+// Exclusions returns the journaled worker exclusions in append order —
+// ready for dispatch.Config.Exclusions.
+func (j *Journal) Exclusions() []dispatch.WorkerExclusion {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]dispatch.WorkerExclusion(nil), j.exclusions...)
+}
+
+// TruncatedBytes reports how many torn-tail bytes Open dropped, for
+// operator-facing logs. 0 means the file ended on a record boundary.
+func (j *Journal) TruncatedBytes() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.truncated
+}
+
+// Path returns the journal file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close closes the journal file. Appends already on disk stay durable.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// Journal implements dispatch.Journal.
+var _ dispatch.Journal = (*Journal)(nil)

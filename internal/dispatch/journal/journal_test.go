@@ -1,0 +1,297 @@
+package journal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"exegpt/internal/dispatch"
+	"exegpt/internal/distsweep"
+	"exegpt/internal/experiments"
+)
+
+const testFP = "fp-journal-test"
+
+func fakeEnv(idx, total int) *distsweep.CellEnvelope {
+	return distsweep.NewCellEnvelope(testFP, total, experiments.CellResult{
+		Cell: idx,
+		Rows: []experiments.SweepRow{{
+			Model: "OPT-13B", Cluster: "A40", GPUs: 4, Task: "S",
+			Bound: 5.0 + float64(idx), System: "FT",
+			Tput: 1.5 * float64(idx+1), Feasible: true,
+		}},
+		Evals: 10 * (idx + 1),
+	})
+}
+
+func newHeader(cells int) Header {
+	return Header{
+		Fingerprint: testFP,
+		Cells:       cells,
+		Options: OptionsOf(dispatch.Options{
+			LeaseTimeout: 30 * time.Second, LeaseCells: 2,
+			CellRetries: 3, WorkerFailures: 3, Idle: time.Minute,
+		}),
+	}
+}
+
+// openSeeded builds a journal with a header, n cell records and one
+// exclusion, then closes it and returns the directory.
+func openSeeded(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.WriteHeader(newHeader(8)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := j.Append(fakeEnv(i, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.AppendExclusion(dispatch.WorkerExclusion{
+		Worker: "bad-host", Failures: 3, Reason: "cell 5 failed: CUDA out of memory",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := openSeeded(t, 3)
+
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.TruncatedBytes() != 0 {
+		t.Fatalf("clean journal reports %d truncated bytes", j.TruncatedBytes())
+	}
+	h := j.Header()
+	if h == nil {
+		t.Fatal("no header after reopen")
+	}
+	if h.Fingerprint != testFP || h.Cells != 8 || h.Version != FormatVersion {
+		t.Fatalf("header round trip: %+v", h)
+	}
+	if want := newHeader(8).Options; h.Options != want {
+		t.Fatalf("options round trip: got %+v want %+v", h.Options, want)
+	}
+	if got := h.Options.Dispatch(); got.LeaseTimeout != 30*time.Second || got.Idle != time.Minute {
+		t.Fatalf("options back-conversion: %+v", got)
+	}
+	cells := j.Cells()
+	if len(cells) != 3 {
+		t.Fatalf("got %d cells, want 3", len(cells))
+	}
+	for i, env := range cells {
+		if env.Result.Cell != i || env.Result.Evals != 10*(i+1) {
+			t.Fatalf("cell %d replayed as %+v", i, env.Result)
+		}
+	}
+	ex := j.Exclusions()
+	if len(ex) != 1 || ex[0].Worker != "bad-host" || !strings.Contains(ex[0].Reason, "CUDA") {
+		t.Fatalf("exclusions replayed as %+v", ex)
+	}
+
+	// Appending after a reopen extends the same file.
+	if err := j.Append(fakeEnv(5, 8)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(j2.Cells()) != 4 {
+		t.Fatalf("got %d cells after reopen-append, want 4", len(j2.Cells()))
+	}
+}
+
+// TestTornTailTruncatesAtEveryOffset cuts the journal file at every
+// byte offset inside its final record and requires Open to recover
+// exactly the records before it, then accept fresh appends.
+func TestTornTailTruncatesAtEveryOffset(t *testing.T) {
+	dir := openSeeded(t, 2)
+	path := filepath.Join(dir, FileName)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Find where the last record begins by walking the frames.
+	var lastStart int
+	for off := 0; off < len(whole); {
+		lastStart = off
+		length := int(binary.LittleEndian.Uint32(whole[off : off+4]))
+		off += frameOverhead + length
+	}
+
+	for cut := lastStart + 1; cut < len(whole); cut++ {
+		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, err := Open(dir)
+		if err != nil {
+			t.Fatalf("cut at %d/%d: %v", cut, len(whole), err)
+		}
+		if got := j.TruncatedBytes(); got != int64(cut-lastStart) {
+			t.Fatalf("cut at %d: truncated %d bytes, want %d", cut, got, cut-lastStart)
+		}
+		// The torn record was the exclusion; both cells must survive.
+		if len(j.Cells()) != 2 || len(j.Exclusions()) != 0 {
+			t.Fatalf("cut at %d: recovered %d cells, %d exclusions",
+				cut, len(j.Cells()), len(j.Exclusions()))
+		}
+		// The file is back on a record boundary: appends must land clean.
+		if err := j.Append(fakeEnv(7, 8)); err != nil {
+			t.Fatalf("cut at %d: append after truncate: %v", cut, err)
+		}
+		j.Close()
+		j2, err := Open(dir)
+		if err != nil {
+			t.Fatalf("cut at %d: reopen after append: %v", cut, err)
+		}
+		if len(j2.Cells()) != 3 || j2.TruncatedBytes() != 0 {
+			t.Fatalf("cut at %d: %d cells and %d truncated bytes after repair",
+				cut, len(j2.Cells()), j2.TruncatedBytes())
+		}
+		j2.Close()
+	}
+}
+
+func TestChecksumFailureDropsTail(t *testing.T) {
+	dir := openSeeded(t, 3)
+	path := filepath.Join(dir, FileName)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the second cell record (header, cell 0,
+	// cell 1, ...). Everything from that record on is dropped.
+	off := 0
+	for i := 0; i < 2; i++ {
+		off += frameOverhead + int(binary.LittleEndian.Uint32(whole[off:off+4]))
+	}
+	whole[off+frameOverhead+2] ^= 0xFF
+	if err := os.WriteFile(path, whole, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(j.Cells()) != 1 || j.TruncatedBytes() == 0 {
+		t.Fatalf("recovered %d cells, truncated %d bytes; want 1 cell and a dropped tail",
+			len(j.Cells()), j.TruncatedBytes())
+	}
+}
+
+func TestAbsurdLengthPrefixIsATornTail(t *testing.T) {
+	dir := openSeeded(t, 2)
+	path := filepath.Join(dir, FileName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frame [frameOverhead]byte
+	binary.LittleEndian.PutUint32(frame[:4], 0xFFFFFFF0)
+	f.Write(frame[:])
+	f.Close()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(j.Cells()) != 2 || j.TruncatedBytes() != frameOverhead {
+		t.Fatalf("recovered %d cells, truncated %d bytes", len(j.Cells()), j.TruncatedBytes())
+	}
+}
+
+func TestChecksummedGarbageFailsLoudly(t *testing.T) {
+	dir := openSeeded(t, 1)
+	path := filepath.Join(dir, FileName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("not json at all")
+	frame := make([]byte, frameOverhead+len(payload))
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameOverhead:], payload)
+	f.Write(frame)
+	f.Close()
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted a checksummed non-JSON record")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append(fakeEnv(0, 8)); err == nil {
+		t.Fatal("append accepted before WriteHeader")
+	}
+	if err := j.WriteHeader(newHeader(8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.WriteHeader(newHeader(8)); err == nil {
+		t.Fatal("second WriteHeader accepted")
+	}
+	wrong := fakeEnv(0, 8)
+	wrong.Fingerprint = "some-other-grid"
+	if err := j.Append(wrong); err == nil {
+		t.Fatal("append accepted a foreign-grid cell")
+	}
+	sized := fakeEnv(0, 9)
+	if err := j.Append(sized); err == nil {
+		t.Fatal("append accepted a wrong-sized grid cell")
+	}
+
+	// Duplicate appends are idempotent: one record on disk.
+	if err := j.Append(fakeEnv(2, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(fakeEnv(2, 8)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(j2.Cells()) != 1 {
+		t.Fatalf("duplicate append left %d cells", len(j2.Cells()))
+	}
+}
+
+func TestEmptyJournal(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Header() != nil || len(j.Cells()) != 0 || len(j.Exclusions()) != 0 {
+		t.Fatal("fresh journal is not empty")
+	}
+}

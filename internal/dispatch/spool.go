@@ -19,6 +19,7 @@
 package dispatch
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -216,13 +217,24 @@ func (w *spoolWorker) RecvLease(seq int, timeout time.Duration) (*Lease, error) 
 	for {
 		data, err := os.ReadFile(path)
 		if err == nil {
-			l, err := DecodeLease(data)
-			if err != nil {
+			l, derr := DecodeLease(data)
+			if derr == nil {
 				os.Remove(path)
-				return nil, fmt.Errorf("dispatch: undecodable lease %s: %w", path, err)
+				return l, nil
 			}
-			os.Remove(path)
-			return l, nil
+			if errors.Is(derr, ErrWireVersion) {
+				// A whole, parseable frame from a different build: a
+				// mixed-version fleet must fail loudly, not retry.
+				os.Remove(path)
+				return nil, fmt.Errorf("dispatch: lease %s: %w", path, derr)
+			}
+			// Torn JSON. The coordinator's own writes are atomic, but a
+			// non-atomic synchronizer (an rsync still copying) can expose
+			// a partial file; leave it in place and re-poll — the same
+			// retry-with-backoff posture the HTTP worker takes on a flaky
+			// link. If it never becomes whole, the poll times out, the
+			// worker re-requests, and the coordinator requeues on
+			// deadline.
 		}
 		if w.s.stopped() {
 			return &Lease{Version: WireVersion, Worker: w.id, Stop: true}, nil

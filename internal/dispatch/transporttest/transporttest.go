@@ -33,6 +33,21 @@ type Harness struct {
 	// transports that pass typed values and cannot tear a frame (the
 	// in-process hub); the corruption scenario is then skipped.
 	Corrupt func() error
+	// Tune, when non-nil, adjusts the coordinator options every
+	// scenario runs with. Chaos-wrapped harnesses raise the retry and
+	// failure budgets so injected faults exercise the requeue/dedup
+	// recovery paths instead of tripping the abort paths tested
+	// elsewhere.
+	Tune func(o *dispatch.Options)
+}
+
+// config returns the harness's coordinator settings for one scenario.
+func (h *Harness) config(fp string, n int) dispatch.Config {
+	cfg := config(fp, n)
+	if h.Tune != nil {
+		h.Tune(&cfg.Options)
+	}
+	return cfg
 }
 
 // Run executes the conformance scenarios, building a fresh harness (a
@@ -117,21 +132,25 @@ func startCoord(ct dispatch.Transport, cfg dispatch.Config) chan runResult {
 	return out
 }
 
-// takeLease drives one request → lease round by hand.
+// takeLease drives one request → lease round by hand, re-sending the
+// request after a second of silence as a real pull worker would — the
+// request or its reply may be dropped by a chaos-wrapped transport.
 func takeLease(t *testing.T, wt dispatch.WorkerTransport, id string, seq, max int) *dispatch.Lease {
 	t.Helper()
-	if err := wt.Send(&dispatch.Msg{Version: dispatch.WireVersion, Type: dispatch.MsgRequest,
-		Worker: id, Seq: seq, Max: max}); err != nil {
-		t.Fatal(err)
-	}
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
-		l, err := wt.RecvLease(seq, 50*time.Millisecond)
-		if err != nil {
+		if err := wt.Send(&dispatch.Msg{Version: dispatch.WireVersion, Type: dispatch.MsgRequest,
+			Worker: id, Seq: seq, Max: max}); err != nil {
 			t.Fatal(err)
 		}
-		if l != nil {
-			return l
+		for end := time.Now().Add(time.Second); time.Now().Before(end); {
+			l, err := wt.RecvLease(seq, 50*time.Millisecond)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if l != nil {
+				return l
+			}
 		}
 	}
 	t.Fatal("no lease within 10s")
@@ -160,7 +179,7 @@ func requireIdentical(t *testing.T, r runResult, fp string, n int) {
 // is byte-identical to the direct one.
 func testGrantAndResult(t *testing.T, h *Harness) {
 	const fp, n = "fp-tt-grant", 6
-	res := startCoord(h.Coordinator, config(fp, n))
+	res := startCoord(h.Coordinator, h.config(fp, n))
 	for _, id := range []string{"w1", "w2"} {
 		go pullWorker(id, fp, n).Run(h.Worker(t, id))
 	}
@@ -172,7 +191,7 @@ func testGrantAndResult(t *testing.T, h *Harness) {
 // a late-attaching survivor must finish the grid exactly once.
 func testExpiredLeaseRequeues(t *testing.T, h *Harness) {
 	const fp, n = "fp-tt-expiry", 5
-	res := startCoord(h.Coordinator, config(fp, n))
+	res := startCoord(h.Coordinator, h.config(fp, n))
 
 	dead := h.Worker(t, "deadbeat")
 	l := takeLease(t, dead, "deadbeat", 1, 2)
@@ -189,16 +208,20 @@ func testExpiredLeaseRequeues(t *testing.T, h *Harness) {
 // exactly-once coverage — the first copy wins.
 func testDuplicateResults(t *testing.T, h *Harness) {
 	const fp, n = "fp-tt-dup", 4
-	res := startCoord(h.Coordinator, config(fp, n))
+	res := startCoord(h.Coordinator, h.config(fp, n))
 
 	wt := h.Worker(t, "dup")
 	go func() {
 		for seq := 1; ; seq++ {
+			// Re-send the request after a second of silence: a chaos
+			// wrapper may have dropped it or its reply.
 			var l *dispatch.Lease
-			wt.Send(&dispatch.Msg{Version: dispatch.WireVersion, Type: dispatch.MsgRequest,
-				Worker: "dup", Seq: seq, Max: 1})
 			for l == nil {
-				l, _ = wt.RecvLease(seq, 50*time.Millisecond)
+				wt.Send(&dispatch.Msg{Version: dispatch.WireVersion, Type: dispatch.MsgRequest,
+					Worker: "dup", Seq: seq, Max: 1})
+				for tries := 0; l == nil && tries < 20; tries++ {
+					l, _ = wt.RecvLease(seq, 50*time.Millisecond)
+				}
 			}
 			if l.Stop {
 				return
@@ -223,7 +246,7 @@ func testDuplicateResults(t *testing.T, h *Harness) {
 // finished must be told to stop rather than wait forever.
 func testStopPropagation(t *testing.T, h *Harness) {
 	const fp, n = "fp-tt-stop", 3
-	res := startCoord(h.Coordinator, config(fp, n))
+	res := startCoord(h.Coordinator, h.config(fp, n))
 
 	w := pullWorker("w1", fp, n)
 	wDone := make(chan error, 1)
@@ -269,7 +292,7 @@ func testCorruptFrame(t *testing.T, h *Harness) {
 		t.Skip("transport passes typed values; frames cannot tear")
 	}
 	const fp, n = "fp-tt-torn", 4
-	res := startCoord(h.Coordinator, config(fp, n))
+	res := startCoord(h.Coordinator, h.config(fp, n))
 
 	if err := h.Corrupt(); err != nil {
 		t.Fatalf("corrupt frame injection: %v", err)

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-report sweep-sharded sweep-dispatch sweep-http sweep-resume clean
+.PHONY: all build test race lint bench bench-report sweep-sharded sweep-dispatch sweep-http sweep-resume sweep-scale clean
 
 all: build
 
@@ -115,6 +115,34 @@ sweep-resume: build
 	cmp $(RESUME_DIR)/single.json $(RESUME_DIR)/resumed.json
 	@echo "journal-resumed sweep == single-process sweep (byte-identical)"
 
+# Self-healing supervised sweep: one HTTP coordinator owns its worker
+# fleet via -scale-min/-scale-max — it starts one local pull worker,
+# scales to three on queue depth, and when one worker is SIGKILLed
+# mid-lease the supervisor replaces it with the slot's next incarnation
+# after a backoff. The coordinator's stderr must show both the scale-up
+# and the replacement, and the final artifact must be byte-identical to
+# the single-process sweep's. -requests 60000 slows each cell to a few
+# seconds so the kill reliably lands mid-lease.
+SCALE_DIR := .scale-demo
+SCALE_ADDR := 127.0.0.1:18095
+SCALE_GRID := -quick -requests 60000 -models OPT-13B -tasks S,T,G
+sweep-scale: build
+	rm -rf $(SCALE_DIR) && mkdir -p $(SCALE_DIR)/profiles
+	./exegpt sweep $(SCALE_GRID) \
+		-profile-cache $(SCALE_DIR)/profiles -json $(SCALE_DIR)/single.json > /dev/null
+	./exegpt sweep $(SCALE_GRID) -mode dispatch -http $(SCALE_ADDR) \
+		-profile-cache $(SCALE_DIR)/profiles \
+		-scale-min 1 -scale-max 3 \
+		-lease-timeout 3s -dispatch-idle 120s \
+		-json $(SCALE_DIR)/scaled.json > /dev/null 2> $(SCALE_DIR)/coord.log & \
+	C1=$$!; \
+	sleep 2.0; pkill -9 -f 'worker-id [s]0r0' 2>/dev/null || true; \
+	wait $$C1
+	grep -q 'supervisor: started worker s2r0' $(SCALE_DIR)/coord.log
+	grep -q 'supervisor: started worker s0r1' $(SCALE_DIR)/coord.log
+	cmp $(SCALE_DIR)/single.json $(SCALE_DIR)/scaled.json
+	@echo "self-healing autoscaled sweep == single-process sweep (byte-identical)"
+
 lint:
 	$(GO) vet ./...
 	@unformatted=$$(gofmt -l .); \
@@ -134,4 +162,4 @@ bench-report: build
 
 clean:
 	rm -f exegpt
-	rm -rf $(SHARD_DIR) $(DISPATCH_DIR) $(HTTP_DIR) $(RESUME_DIR)
+	rm -rf $(SHARD_DIR) $(DISPATCH_DIR) $(HTTP_DIR) $(RESUME_DIR) $(SCALE_DIR)

@@ -6,10 +6,12 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"exegpt/internal/dispatch"
@@ -97,6 +99,8 @@ type dispatchFlagSet struct {
 	cellRetries    *int
 	workerFailures *int
 	idle           *time.Duration
+	retryBase      *time.Duration
+	retryMax       *time.Duration
 }
 
 func dispatchFlags(fs *flag.FlagSet) *dispatchFlagSet {
@@ -112,6 +116,10 @@ func dispatchFlags(fs *flag.FlagSet) *dispatchFlagSet {
 			"exclude a worker from further leases after this many failed leases"),
 		idle: fs.Duration("dispatch-idle", d.Idle,
 			"abort the sweep when no worker message arrives for this long (0 waits forever)"),
+		retryBase: fs.Duration("retry-base", d.RetryBase,
+			"worker transport retries: first backoff step (doubles with jitter up to -retry-max)"),
+		retryMax: fs.Duration("retry-max", d.RetryMax,
+			"worker transport retries: backoff ceiling"),
 	}
 }
 
@@ -123,11 +131,53 @@ func (d *dispatchFlagSet) options() (dispatch.Options, error) {
 		CellRetries:    *d.cellRetries,
 		WorkerFailures: *d.workerFailures,
 		Idle:           *d.idle,
+		RetryBase:      *d.retryBase,
+		RetryMax:       *d.retryMax,
 	}
 	if err := o.Validate(); err != nil {
 		return dispatch.Options{}, err
 	}
 	return o, nil
+}
+
+// scaleFlagSet carries the supervised-fleet knobs shared by `sweep
+// -mode dispatch` and the `dispatch` serve mode. -scale-max 0 (the
+// default) disables supervision entirely: the fleet is the fixed
+// -dispatch-workers set, exactly as before.
+type scaleFlagSet struct {
+	min        *int
+	max        *int
+	restartMax *int
+}
+
+func scaleFlags(fs *flag.FlagSet) *scaleFlagSet {
+	return &scaleFlagSet{
+		min: fs.Int("scale-min", 1,
+			"supervised dispatch: minimum worker count the supervisor maintains"),
+		max: fs.Int("scale-max", 0,
+			"supervised dispatch: scale the local worker fleet between -scale-min and this many workers, replacing crashed ones (0 disables the supervisor)"),
+		restartMax: fs.Int("restart-max", 3,
+			"supervised dispatch: replacements per worker slot before it is declared poisoned and left down"),
+	}
+}
+
+// params validates and collects the scale flags. seed pins the
+// supervisor's restart-backoff jitter.
+func (s *scaleFlagSet) params(seed int64) (scaleParams, error) {
+	p := scaleParams{min: *s.min, max: *s.max, restartMax: *s.restartMax, seed: seed}
+	if p.max == 0 {
+		return p, nil
+	}
+	if p.min < 1 {
+		return scaleParams{}, fmt.Errorf("-scale-min %d < 1", p.min)
+	}
+	if p.max < p.min {
+		return scaleParams{}, fmt.Errorf("-scale-max %d < -scale-min %d", p.max, p.min)
+	}
+	if p.restartMax < 1 {
+		return scaleParams{}, fmt.Errorf("-restart-max %d < 1", p.restartMax)
+	}
+	return p, nil
 }
 
 // config assembles a coordinator Config; stderrTail may be nil (no
@@ -224,6 +274,7 @@ func runPullWorker(ctx *experiments.Context, grid experiments.SweepGrid, fp, spo
 		if err != nil {
 			return err
 		}
+		c.Tune(opts.RetryBase, opts.RetryMax, 0)
 		wt, via = c, connectURL
 	default:
 		sp, err := dispatch.NewSpool(spoolDir)
@@ -236,12 +287,31 @@ func runPullWorker(ctx *experiments.Context, grid experiments.SweepGrid, fp, spo
 		}
 		wt, via = swt, spoolDir
 	}
+	// SIGINT/SIGTERM drain the worker gracefully: it finishes the cell
+	// it is evaluating, releases the rest of its lease back to the
+	// coordinator, and exits cleanly. A second signal exits immediately.
+	drain := make(chan struct{})
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "worker %s: %v: draining (finishing the in-flight cell, releasing the rest; signal again to exit immediately)\n", id, s)
+		close(drain)
+		s = <-sig
+		fmt.Fprintf(os.Stderr, "worker %s: %v: exiting immediately\n", id, s)
+		os.Exit(130)
+	}()
+
 	w := &dispatch.Worker{
 		ID:          id,
 		Fingerprint: fp,
 		Cells:       len(grid.Cells()),
 		Batch:       opts.LeaseCells,
 		Idle:        opts.Idle,
+		RetryBase:   opts.RetryBase,
+		RetryMax:    opts.RetryMax,
+		Drain:       drain,
 		Eval: func(c int) (experiments.CellResult, error) {
 			crs, err := ctx.SweepCells(grid, []int{c})
 			if err != nil {
@@ -264,7 +334,7 @@ func runPullWorker(ctx *experiments.Context, grid experiments.SweepGrid, fp, spo
 // default, or one ssh-launched worker per -hosts entry.
 func runDispatch(ctx *experiments.Context, grid experiments.SweepGrid, g *gridFlagSet,
 	fp, spoolDir, httpAddr, hosts, remoteBin string, workers int, opts dispatch.Options,
-	journalDir, jsonOut string) error {
+	sc scaleParams, journalDir, jsonOut string) error {
 
 	// Open (and replay) the journal before spending anything on
 	// transports or workers: a resume that recovered every cell skips
@@ -348,17 +418,23 @@ func runDispatch(ctx *experiments.Context, grid experiments.SweepGrid, g *gridFl
 	attachArgs := func(id string) []string {
 		args := []string{"-worker-id", id,
 			"-lease-cells", strconv.Itoa(opts.LeaseCells),
-			"-dispatch-idle", opts.Idle.String()}
+			"-dispatch-idle", opts.Idle.String(),
+			"-retry-base", opts.RetryBase.String(),
+			"-retry-max", opts.RetryMax.String()}
 		if connectURL != "" {
 			return append([]string{"-pull", "-connect", connectURL}, args...)
 		}
 		return append([]string{"-pull", "-spool", spoolDir}, args...)
 	}
 
+	intr := installInterrupt(&cfg)
+	defer intr.Stop()
+
 	// Launch the fleet. Worker failures are tolerated by design — the
 	// coordinator requeues their leases — so spawn errors become
 	// warnings unless the coordinator itself fails.
 	var fleet *distsweep.Fleet
+	var sf *supervisedFleet
 	var names []string
 	switch {
 	case allRecovered:
@@ -386,6 +462,30 @@ func runDispatch(ctx *experiments.Context, grid experiments.SweepGrid, g *gridFl
 		}
 		fmt.Fprintf(os.Stderr, "sweep: dispatching to %d ssh workers\n", len(argvs))
 		if fleet, err = distsweep.StartFleet("ssh", argvs, names); err != nil {
+			return err
+		}
+	case sc.on():
+		bin, err := os.Executable()
+		if err != nil {
+			return err
+		}
+		// The fleet may grow to scale-max workers on this box: split the
+		// worker budget as if it were already there, so scale-ups don't
+		// oversubscribe the machine.
+		budget := ctx.Workers
+		if budget <= 0 {
+			budget = runtime.GOMAXPROCS(0)
+		}
+		perWorker := budget / sc.max
+		if perWorker < 1 {
+			perWorker = 1
+		}
+		argv := func(id string) []string {
+			return append(g.workerArgs(ctx, perWorker), attachArgs(id)...)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: supervised fleet of %d..%d local pull workers (restart cap %d)\n",
+			sc.min, sc.max, sc.restartMax)
+		if sf, err = startSupervisedFleet(&cfg, bin, argv, sc, intr); err != nil {
 			return err
 		}
 	default:
@@ -421,7 +521,11 @@ func runDispatch(ctx *experiments.Context, grid experiments.SweepGrid, g *gridFl
 	if fleet != nil {
 		cfg.StderrTail = fleet.StderrTail
 	}
-	defer installInterrupt(&cfg)()
+	if hc != nil && cfg.Controller != nil {
+		// Expose the supervisor's drain hook on the HTTP API, so an
+		// operator can POST /v1/drain to retire a worker by hand.
+		hc.srv.AttachControl(cfg.Controller)
+	}
 	var merged *distsweep.Merged
 	if hc != nil {
 		merged, err = hc.run(cfg)
@@ -431,7 +535,9 @@ func runDispatch(ctx *experiments.Context, grid experiments.SweepGrid, g *gridFl
 	// The stop signal is down (every coordinator path finishes the
 	// transport), so the fleet drains; surface its exit status.
 	var werr error
-	if fleet != nil {
+	if sf != nil {
+		werr = sf.Shutdown()
+	} else if fleet != nil {
 		werr = fleet.Wait()
 	}
 	if err != nil {
@@ -454,6 +560,7 @@ func cmdDispatch(args []string) error {
 	newCtx := commonFlags(fs)
 	g := gridFlags(fs)
 	d := dispatchFlags(fs)
+	scf := scaleFlags(fs)
 	spoolDir := fs.String("spool", "", "serve over this spool directory shared with the pull workers")
 	httpAddr := fs.String("http", "", "serve the coordinator's HTTP API on this address (host:port; workers attach with sweep -pull -connect)")
 	journalDir := fs.String("journal", "", "journal every accepted result in this directory; rerunning with the same directory resumes an interrupted sweep")
@@ -469,6 +576,10 @@ func cmdDispatch(args []string) error {
 		return err
 	}
 	ctx := newCtx()
+	sc, err := scf.params(ctx.Seed)
+	if err != nil {
+		return err
+	}
 	grid, err := g.build(ctx)
 	if err != nil {
 		return err
@@ -477,29 +588,98 @@ func cmdDispatch(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := coordConfig(fp, len(grid.Cells()), opts, nil)
-	j, err := openJournal(*journalDir, fp, len(grid.Cells()), opts, &cfg)
+	cells := len(grid.Cells())
+	cfg := coordConfig(fp, cells, opts, nil)
+	j, err := openJournal(*journalDir, fp, cells, opts, &cfg)
 	if err != nil {
 		return err
 	}
 	if j != nil {
 		defer j.Close()
 	}
-	defer installInterrupt(&cfg)()
+	intr := installInterrupt(&cfg)
+	defer intr.Stop()
+
+	if sc.on() && ctx.ProfileCacheDir == "" {
+		// The supervised local fleet shares one profile cache so each
+		// (model, sub-cluster) profiles once across worker generations.
+		tmp, err := os.MkdirTemp("", "exegpt-profiles-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		ctx.ProfileCacheDir = tmp
+	}
+
+	// superviseLocal forks a supervised local fleet attaching over the
+	// serve transport — with -scale-max the serve mode runs its own
+	// elastic workers alongside any the operator attaches by hand.
+	var sf *supervisedFleet
+	superviseLocal := func(connectURL string) error {
+		if !sc.on() || len(cfg.Completed) == cells {
+			return nil
+		}
+		bin, err := os.Executable()
+		if err != nil {
+			return err
+		}
+		budget := ctx.Workers
+		if budget <= 0 {
+			budget = runtime.GOMAXPROCS(0)
+		}
+		perWorker := budget / sc.max
+		if perWorker < 1 {
+			perWorker = 1
+		}
+		argv := func(id string) []string {
+			args := g.workerArgs(ctx, perWorker)
+			if connectURL != "" {
+				args = append(args, "-pull", "-connect", connectURL)
+			} else {
+				args = append(args, "-pull", "-spool", *spoolDir)
+			}
+			return append(args, "-worker-id", id,
+				"-lease-cells", strconv.Itoa(opts.LeaseCells),
+				"-dispatch-idle", opts.Idle.String(),
+				"-retry-base", opts.RetryBase.String(),
+				"-retry-max", opts.RetryMax.String())
+		}
+		fmt.Fprintf(os.Stderr, "dispatch: supervised fleet of %d..%d local pull workers (restart cap %d)\n",
+			sc.min, sc.max, sc.restartMax)
+		sf, err = startSupervisedFleet(&cfg, bin, argv, sc, intr)
+		return err
+	}
+	// finish drains the supervised fleet (if any) after the coordinator
+	// is done and folds the outcome into the run's.
+	finish := func(merged *distsweep.Merged, err error) error {
+		var werr error
+		if sf != nil {
+			werr = sf.Shutdown()
+		}
+		if err != nil {
+			resumeHint(err, *journalDir)
+			return err
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "dispatch: note: worker failures tolerated by work stealing: %v\n", werr)
+		}
+		return printMerged(merged, grid, *jsonOut)
+	}
 
 	if *httpAddr != "" {
 		hc, err := listenHTTP(*httpAddr)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "dispatch: coordinating %d cells on %s (grid %.12s; status: %s/v1/status)\n",
-			len(grid.Cells()), hc.ln.Addr(), fp, hc.localURL())
-		merged, err := hc.run(cfg)
-		if err != nil {
-			resumeHint(err, *journalDir)
+		if err := superviseLocal(hc.localURL()); err != nil {
 			return err
 		}
-		return printMerged(merged, grid, *jsonOut)
+		if cfg.Controller != nil {
+			hc.srv.AttachControl(cfg.Controller)
+		}
+		fmt.Fprintf(os.Stderr, "dispatch: coordinating %d cells on %s (grid %.12s; status: %s/v1/status)\n",
+			cells, hc.ln.Addr(), fp, hc.localURL())
+		return finish(hc.run(cfg))
 	}
 
 	sp, err := dispatch.NewSpool(*spoolDir)
@@ -507,15 +687,13 @@ func cmdDispatch(args []string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "dispatch: coordinating %d cells on spool %s (grid %.12s)\n",
-		len(grid.Cells()), *spoolDir, fp)
+		cells, *spoolDir, fp)
 	ct, err := sp.Coordinator()
 	if err != nil {
 		return err
 	}
-	merged, err := dispatch.Run(ct, cfg)
-	if err != nil {
-		resumeHint(err, *journalDir)
+	if err := superviseLocal(""); err != nil {
 		return err
 	}
-	return printMerged(merged, grid, *jsonOut)
+	return finish(dispatch.Run(ct, cfg))
 }

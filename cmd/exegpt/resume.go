@@ -11,38 +11,59 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 
 	"exegpt/internal/dispatch"
 	"exegpt/internal/dispatch/journal"
 )
 
-// installInterrupt routes SIGINT/SIGTERM into the coordinator's
-// graceful drain: the first signal stops new lease grants and lets
-// in-flight work finish into the journal; a second exits immediately.
-// The returned stop function releases the handler (for coordinator
-// paths that return to a caller).
-func installInterrupt(cfg *dispatch.Config) func() {
-	sig := make(chan os.Signal, 2)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	drain := make(chan struct{})
-	cfg.Interrupt = drain
+// interrupter routes coordinator-drain requests — SIGINT/SIGTERM from
+// the operator, or a programmatic Trigger like a fatal supervisor
+// error — into the coordinator's graceful drain: the drain stops new
+// lease grants and lets in-flight work finish into the journal.
+type interrupter struct {
+	drain chan struct{}
+	once  sync.Once
+	sig   chan os.Signal
+}
+
+// installInterrupt wires an interrupter into cfg and starts its signal
+// handler: the first SIGINT/SIGTERM drains, a second exits
+// immediately. Call Stop to release the handler (for coordinator paths
+// that return to a caller).
+func installInterrupt(cfg *dispatch.Config) *interrupter {
+	in := &interrupter{drain: make(chan struct{}), sig: make(chan os.Signal, 2)}
+	cfg.Interrupt = in.drain
+	signal.Notify(in.sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		s, ok := <-sig
+		s, ok := <-in.sig
 		if !ok {
 			return
 		}
 		fmt.Fprintf(os.Stderr, "dispatch: %v: draining in-flight leases, then exiting (signal again to exit immediately)\n", s)
-		close(drain)
-		if s, ok := <-sig; ok {
+		in.fire()
+		if s, ok := <-in.sig; ok {
 			fmt.Fprintf(os.Stderr, "dispatch: %v: exiting immediately\n", s)
 			os.Exit(130)
 		}
 	}()
-	return func() {
-		signal.Stop(sig)
-		close(sig)
-	}
+	return in
+}
+
+func (in *interrupter) fire() { in.once.Do(func() { close(in.drain) }) }
+
+// Trigger drains the coordinator for a programmatic reason (idempotent
+// with the signal path).
+func (in *interrupter) Trigger(reason string) {
+	fmt.Fprintf(os.Stderr, "dispatch: %s: draining in-flight leases, then exiting\n", reason)
+	in.fire()
+}
+
+// Stop releases the signal handler.
+func (in *interrupter) Stop() {
+	signal.Stop(in.sig)
+	close(in.sig)
 }
 
 // openJournal opens (or creates) the sweep journal in dir and wires it
@@ -74,9 +95,10 @@ func openJournal(dir, fp string, cells int, opts dispatch.Options, cfg *dispatch
 		}
 		cfg.Completed = j.Cells()
 		cfg.Exclusions = j.Exclusions()
-		if len(cfg.Completed) > 0 || len(cfg.Exclusions) > 0 {
-			fmt.Fprintf(os.Stderr, "dispatch: journal: resuming %d/%d cells (%d worker exclusions) from %s\n",
-				len(cfg.Completed), cells, len(cfg.Exclusions), j.Path())
+		cfg.Restarts = j.Restarts()
+		if len(cfg.Completed) > 0 || len(cfg.Exclusions) > 0 || len(cfg.Restarts) > 0 {
+			fmt.Fprintf(os.Stderr, "dispatch: journal: resuming %d/%d cells (%d worker exclusions, %d supervised slots) from %s\n",
+				len(cfg.Completed), cells, len(cfg.Exclusions), len(cfg.Restarts), j.Path())
 		}
 	} else {
 		if err := j.WriteHeader(journal.Header{

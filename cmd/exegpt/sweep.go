@@ -63,6 +63,7 @@ func cmdSweep(args []string) error {
 	workerID := fs.String("worker-id", "", "pull mode: this worker's name in leases and logs (default: host-pid)")
 	journalDir := fs.String("journal", "", "dispatch mode: journal every accepted result in this directory; rerunning with the same directory resumes an interrupted sweep")
 	d := dispatchFlags(fs)
+	scf := scaleFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,6 +84,10 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return err
 	}
+	sc, err := scf.params(ctx.Seed)
+	if err != nil {
+		return err
+	}
 	m, err := resolveSweepMode(*mode, *shardIndex >= 0, *spawn, *dispatchMode, *pull)
 	if err != nil {
 		return err
@@ -90,7 +95,7 @@ func cmdSweep(args []string) error {
 	if err := validateSweepMode(m, sweepModeFlags{
 		shards: *shards, out: *outPath, shardDir: *shardDir, hosts: *hosts,
 		spool: *spoolDir, http: *httpAddr, connect: *connect, workerID: *workerID,
-		journal: *journalDir,
+		journal: *journalDir, scaleMax: sc.max,
 	}); err != nil {
 		return err
 	}
@@ -101,7 +106,7 @@ func cmdSweep(args []string) error {
 
 	case modeDispatch:
 		return runDispatch(ctx, grid, g, fp, *spoolDir, *httpAddr, *hosts, *remoteBin,
-			*dispatchWorkers, opts, *journalDir, *jsonOut)
+			*dispatchWorkers, opts, sc, *journalDir, *jsonOut)
 
 	case modeWorker:
 		idx := *shardIndex

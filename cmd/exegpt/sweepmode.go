@@ -72,6 +72,7 @@ type sweepModeFlags struct {
 	connect  string
 	workerID string
 	journal  string
+	scaleMax int
 }
 
 // validateSweepMode rejects flag combinations the selected mode cannot
@@ -85,6 +86,9 @@ func validateSweepMode(m sweepMode, f sweepModeFlags) error {
 			}
 		}
 		return nil
+	}
+	if f.scaleMax > 0 && m != modeDispatch {
+		return fmt.Errorf("-scale-max supervises a dispatch-mode fleet; -mode %s has no fleet to scale", m)
 	}
 	switch m {
 	case modeSingle:
@@ -109,6 +113,9 @@ func validateSweepMode(m sweepMode, f sweepModeFlags) error {
 	case modeDispatch:
 		if f.spool != "" && f.http != "" {
 			return fmt.Errorf("-mode dispatch uses one transport: -spool DIR (file spool) or -http ADDR (HTTP API), not both")
+		}
+		if f.scaleMax > 0 && f.hosts != "" {
+			return fmt.Errorf("-scale-max supervises local workers; an ssh fleet (-hosts) is fixed — pick one")
 		}
 		return reject([2]string{"-out", f.out}, [2]string{"-shard-dir", f.shardDir},
 			[2]string{"-connect", f.connect})

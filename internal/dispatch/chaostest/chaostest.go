@@ -201,4 +201,36 @@ func (c *CrashJournal) AppendExclusion(x dispatch.WorkerExclusion) error {
 	return c.Inner.AppendExclusion(x)
 }
 
+func (c *CrashJournal) AppendRestart(r dispatch.WorkerRestart) error {
+	return c.Inner.AppendRestart(r)
+}
+
 var _ dispatch.Journal = (*CrashJournal)(nil)
+
+// KillSchedule draws, from a seed, how many cells each successive
+// worker incarnation completes before it is killed mid-lease. The
+// draws depend only on call order, so a fixed seed gives the same kill
+// schedule run after run — supervised-churn chaos tests reproduce
+// instead of flaking. Safe for concurrent use.
+type KillSchedule struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	max int
+}
+
+// NewKillSchedule returns a schedule drawing kill points uniformly
+// from [1, maxCells] completed cells; maxCells < 1 is raised to 1.
+func NewKillSchedule(seed int64, maxCells int) *KillSchedule {
+	if maxCells < 1 {
+		maxCells = 1
+	}
+	return &KillSchedule{rng: rand.New(rand.NewSource(seed)), max: maxCells}
+}
+
+// Draw returns the next incarnation's kill point: it dies after
+// completing that many cells, mid-lease on the one after.
+func (k *KillSchedule) Draw() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return 1 + k.rng.Intn(k.max)
+}

@@ -1,0 +1,100 @@
+// Controller is the in-process control surface between a coordinator
+// Run loop and a fleet supervisor: the supervisor reads status
+// snapshots from it, and writes drain requests and restart records into
+// it; Run consumes those on its next loop iteration. It exists so the
+// supervisor can live in the same process as the coordinator (the
+// common `exegpt sweep -mode dispatch -scale-max N` shape) without the
+// HTTP round trip — the HTTP transport exposes the same two verbs
+// (`/v1/status`, `POST /v1/drain`) for out-of-process supervision.
+package dispatch
+
+import "sync"
+
+// WorkerRestart records one fleet-supervisor replacement decision for a
+// worker slot: Worker is the incarnation that died, Restarts how many
+// replacements the slot has burned, Reason why the last incarnation
+// ended, and Poisoned that the slot spent its restart budget and will
+// not be restarted again. Restart records are journaled like exclusions,
+// so restart counts and poisoned verdicts survive a coordinator restart
+// and stay visible on /v1/status.
+type WorkerRestart struct {
+	// Slot is the stable fleet position ("s0"); its incarnations are
+	// workers named Slot+"r<generation>" ("s0r0", "s0r1", ...).
+	Slot     string `json:"slot"`
+	Worker   string `json:"worker,omitempty"`
+	Restarts int    `json:"restarts"`
+	Reason   string `json:"reason,omitempty"`
+	Poisoned bool   `json:"poisoned,omitempty"`
+}
+
+// Controller mediates between one coordinator Run and one supervisor.
+// All methods are safe for concurrent use; the zero value is not usable,
+// call NewController.
+type Controller struct {
+	mu        sync.Mutex
+	status    Status
+	hasStatus bool
+	drains    []string
+	requested map[string]bool
+	restarts  []WorkerRestart
+}
+
+// NewController returns an empty controller ready to hand to both
+// Config.Controller and a supervisor.
+func NewController() *Controller {
+	return &Controller{requested: map[string]bool{}}
+}
+
+// Status returns the most recent snapshot the coordinator published,
+// and whether one has been published yet.
+func (c *Controller) Status() (Status, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.status, c.hasStatus
+}
+
+// Drain asks the coordinator to stop leasing to the named worker: its
+// next lease request is answered Stop and any cells it still holds
+// requeue without charging budgets. Draining an unknown worker is
+// harmless; repeated drains of the same worker coalesce.
+func (c *Controller) Drain(worker string) {
+	if worker == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.requested[worker] {
+		return
+	}
+	c.requested[worker] = true
+	c.drains = append(c.drains, worker)
+}
+
+// RecordRestart reports a fleet replacement (or a poisoned verdict) to
+// the coordinator, which journals it and folds it into the status feed.
+func (c *Controller) RecordRestart(r WorkerRestart) {
+	if r.Slot == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.restarts = append(c.restarts, r)
+}
+
+// publish stores the coordinator's latest snapshot for Status readers.
+func (c *Controller) publish(s Status) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.status = s
+	c.hasStatus = true
+}
+
+// take drains the pending drain requests and restart records for the
+// coordinator loop to act on.
+func (c *Controller) take() (drains []string, restarts []WorkerRestart) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	drains, c.drains = c.drains, nil
+	restarts, c.restarts = c.restarts, nil
+	return drains, restarts
+}

@@ -73,6 +73,10 @@ const (
 	MsgResult
 	// MsgFail reports that one leased cell failed to evaluate.
 	MsgFail
+	// MsgRelease returns a lease's unevaluated cells to the queue: a
+	// draining worker finishes the cell it is on, hands the rest back,
+	// and exits. Voluntary, so no retry or failure budget is charged.
+	MsgRelease
 )
 
 // Msg is one worker → coordinator message.
@@ -90,6 +94,9 @@ type Msg struct {
 	// Cell and Err describe a failed evaluation (MsgFail).
 	Cell int    `json:"cell,omitempty"`
 	Err  string `json:"err,omitempty"`
+	// Cells lists the unevaluated cells a draining worker hands back
+	// (MsgRelease).
+	Cells []int `json:"cells,omitempty"`
 }
 
 // Lease is the coordinator → worker reply to one request.
@@ -160,11 +167,19 @@ type Options struct {
 	// Idle aborts the run when no worker message arrives for this long;
 	// 0 waits forever.
 	Idle time.Duration
+	// RetryBase and RetryMax bound the exponential
+	// backoff-with-deterministic-jitter schedule workers use for their
+	// transport retries: the sleep after an empty lease, the window
+	// before re-sending a request whose reply was lost, and (on the
+	// HTTP transport) reconnect attempts. Each retry doubles the delay
+	// from RetryBase up to RetryMax, jittered into [d/2, d].
+	RetryBase time.Duration
+	RetryMax  time.Duration
 }
 
 // Defaults returns the documented dispatch defaults: 60s lease timeout,
-// 1-cell leases, 3 retries per cell, 3 failed leases per worker, and a
-// 10-minute idle abort.
+// 1-cell leases, 3 retries per cell, 3 failed leases per worker, a
+// 10-minute idle abort, and worker retry backoff from 200ms to 5s.
 func Defaults() Options {
 	return Options{
 		LeaseTimeout:   60 * time.Second,
@@ -172,6 +187,8 @@ func Defaults() Options {
 		CellRetries:    3,
 		WorkerFailures: 3,
 		Idle:           10 * time.Minute,
+		RetryBase:      200 * time.Millisecond,
+		RetryMax:       5 * time.Second,
 	}
 }
 
@@ -194,6 +211,15 @@ func (o Options) Validate() error {
 	if o.Idle < 0 {
 		return fmt.Errorf("dispatch: idle deadline %v < 0", o.Idle)
 	}
+	if o.RetryBase < 0 {
+		return fmt.Errorf("dispatch: retry backoff base %v < 0", o.RetryBase)
+	}
+	if o.RetryMax < 0 {
+		return fmt.Errorf("dispatch: retry backoff cap %v < 0", o.RetryMax)
+	}
+	if o.RetryBase > 0 && o.RetryMax > 0 && o.RetryMax < o.RetryBase {
+		return fmt.Errorf("dispatch: retry backoff cap %v below base %v", o.RetryMax, o.RetryBase)
+	}
 	return nil
 }
 
@@ -213,6 +239,12 @@ func (o Options) withDefaults() Options {
 	if o.WorkerFailures == 0 {
 		o.WorkerFailures = d.WorkerFailures
 	}
+	if o.RetryBase == 0 {
+		o.RetryBase = d.RetryBase
+	}
+	if o.RetryMax == 0 {
+		o.RetryMax = d.RetryMax
+	}
 	return o
 }
 
@@ -225,6 +257,7 @@ func (o Options) withDefaults() Options {
 type Journal interface {
 	Append(env *distsweep.CellEnvelope) error
 	AppendExclusion(x WorkerExclusion) error
+	AppendRestart(r WorkerRestart) error
 }
 
 // WorkerExclusion records that a worker spent its failure budget and
@@ -267,6 +300,16 @@ type Config struct {
 	// a worker excluded before the coordinator died stays excluded — and
 	// the status endpoint still says why.
 	Exclusions []WorkerExclusion
+	// Restarts seeds the fleet supervisor's per-slot restart ledger from
+	// a journal replay, so restart counts and poisoned verdicts survive
+	// a coordinator restart on the status feed.
+	Restarts []WorkerRestart
+	// Controller, when non-nil, connects an in-process fleet supervisor:
+	// Run publishes every status snapshot to it, honors its drain
+	// requests (the drained worker's next lease request is answered
+	// Stop and its cells requeue without charging budgets), and journals
+	// its restart records.
+	Controller *Controller
 	// Interrupt, when non-nil, switches Run into a graceful drain once
 	// it fires: no new leases are granted (requesters get Stop),
 	// in-flight results are still accepted and journaled, and once no
@@ -285,9 +328,17 @@ type Status struct {
 	Total  int `json:"total"`
 	Done   int `json:"done"`
 	Queued int `json:"queued"`
+	// UptimeMS is how long this coordinator process has been running;
+	// a supervisor uses it to tell a long-lived coordinator from one
+	// that just replayed its journal.
+	UptimeMS int64 `json:"uptime_ms,omitempty"`
 	// Workers lists every worker the coordinator has heard from, in
 	// worker-id order.
 	Workers []WorkerStatus `json:"workers,omitempty"`
+	// Restarts is the fleet supervisor's per-slot replacement ledger
+	// (latest record per slot, in slot order), populated when a
+	// supervisor is attached or replayed from the journal.
+	Restarts []WorkerRestart `json:"restarts,omitempty"`
 }
 
 // WorkerStatus is one worker's lease state inside a Status snapshot.
@@ -299,6 +350,14 @@ type WorkerStatus struct {
 	// DeadlineMS is how many milliseconds remain until the outstanding
 	// lease expires; 0 without a lease.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// LeaseAgeMS is how long the outstanding lease has been held since
+	// it was first granted (re-grants and heartbeats extend the
+	// deadline, not the age); 0 without a lease. A supervisor reads it
+	// as the "is this worker actually making progress" signal.
+	LeaseAgeMS int64 `json:"lease_age_ms,omitempty"`
+	// Draining is set once a drain was requested for this worker: it
+	// keeps its current lease but its next request is answered Stop.
+	Draining bool `json:"draining,omitempty"`
 	// Failures counts the worker's failed leases against the
 	// WorkerFailures budget; Excluded is set once the budget is spent.
 	Failures int  `json:"failures,omitempty"`
@@ -326,6 +385,10 @@ func (c *Config) logf(format string, args ...any) {
 type leaseState struct {
 	cells    map[int]bool
 	deadline time.Time
+	// granted is when the lease was first handed out; heartbeats and
+	// re-grants move the deadline but not this, so status lease ages
+	// reflect real holding time.
+	granted time.Time
 	// regrants counts how many times the same worker re-requested while
 	// this lease was outstanding and had its remaining cells re-granted
 	// (a lost lease reply on a slow transport). Bounded: past the limit
@@ -367,7 +430,10 @@ func Run(t Transport, cfg Config) (*distsweep.Merged, error) {
 	excluded := map[string]bool{}
 	lastErr := map[string]string{}
 	seen := map[string]bool{}
-	lastActivity := time.Now()
+	drainReq := map[string]bool{}
+	restarts := map[string]WorkerRestart{}
+	started := time.Now()
+	lastActivity := started
 
 	// Replay a previous run's journaled state: completed cells start
 	// done, excluded workers stay excluded.
@@ -414,13 +480,19 @@ func Run(t Transport, cfg Config) (*distsweep.Merged, error) {
 			lastErr[x.Worker] = x.Reason
 		}
 	}
+	for _, r := range cfg.Restarts {
+		if r.Slot != "" {
+			restarts[r.Slot] = r
+		}
+	}
 
 	sink, _ := t.(StatusSink)
 	publish := func() {
-		if sink == nil {
+		if sink == nil && cfg.Controller == nil {
 			return
 		}
-		s := Status{Total: cfg.Cells, Done: len(done), Queued: len(pending)}
+		s := Status{Total: cfg.Cells, Done: len(done), Queued: len(pending),
+			UptimeMS: time.Since(started).Milliseconds()}
 		ids := make([]string, 0, len(seen))
 		for w := range seen {
 			ids = append(ids, w)
@@ -432,6 +504,7 @@ func Run(t Transport, cfg Config) (*distsweep.Merged, error) {
 				Worker:    w,
 				Failures:  failures[w],
 				Excluded:  excluded[w],
+				Draining:  drainReq[w],
 				LastError: lastErr[w],
 			}
 			if ls, ok := leases[w]; ok {
@@ -442,10 +515,57 @@ func Run(t Transport, cfg Config) (*distsweep.Merged, error) {
 				if rem := ls.deadline.Sub(now).Milliseconds(); rem > 0 {
 					ws.DeadlineMS = rem
 				}
+				ws.LeaseAgeMS = now.Sub(ls.granted).Milliseconds()
 			}
 			s.Workers = append(s.Workers, ws)
 		}
-		sink.PublishStatus(s)
+		if len(restarts) > 0 {
+			slots := make([]string, 0, len(restarts))
+			for slot := range restarts {
+				slots = append(slots, slot)
+			}
+			sort.Strings(slots)
+			for _, slot := range slots {
+				s.Restarts = append(s.Restarts, restarts[slot])
+			}
+		}
+		if sink != nil {
+			sink.PublishStatus(s)
+		}
+		if cfg.Controller != nil {
+			cfg.Controller.publish(s)
+		}
+	}
+	// pollController folds the supervisor's pending drain requests and
+	// restart records into coordinator state: drains make the worker's
+	// next request a Stop, restart records go through the journal (like
+	// exclusions) before landing in the status ledger.
+	pollController := func() error {
+		if cfg.Controller == nil {
+			return nil
+		}
+		drains, reports := cfg.Controller.take()
+		for _, w := range drains {
+			if !drainReq[w] {
+				drainReq[w] = true
+				cfg.logf("dispatch: drain requested for worker %s", w)
+			}
+		}
+		for _, r := range reports {
+			if cfg.Journal != nil {
+				if err := cfg.Journal.AppendRestart(r); err != nil {
+					return fmt.Errorf("dispatch: journal restart of slot %s: %w", r.Slot, err)
+				}
+			}
+			restarts[r.Slot] = r
+			if r.Poisoned {
+				cfg.logf("dispatch: slot %s declared poisoned after %d restarts: %s", r.Slot, r.Restarts, r.Reason)
+			}
+		}
+		if len(drains)+len(reports) > 0 {
+			publish()
+		}
+		return nil
 	}
 
 	inPending := func(c int) bool {
@@ -551,6 +671,9 @@ func Run(t Transport, cfg Config) (*distsweep.Merged, error) {
 	draining := false
 	publish()
 	for len(done) < cfg.Cells {
+		if err := pollController(); err != nil {
+			return nil, err
+		}
 		if !draining && cfg.Interrupt != nil {
 			select {
 			case <-cfg.Interrupt:
@@ -616,6 +739,21 @@ func Run(t Transport, cfg Config) (*distsweep.Merged, error) {
 				publish()
 				continue
 			}
+			if drainReq[w] {
+				// A supervisor asked this worker to go: reclaim whatever
+				// its superseded lease still held (free of charge — the
+				// drain is the operator's choice, not the worker's fault)
+				// and answer Stop.
+				if ls, ok := leases[w]; ok {
+					releaseQuietly(w, ls)
+				}
+				if err := t.Send(&Lease{Version: WireVersion, Worker: w, Seq: m.Seq, Stop: true}); err != nil {
+					return nil, err
+				}
+				cfg.logf("dispatch: worker %s drained", w)
+				publish()
+				continue
+			}
 			if ls, ok := leases[w]; ok && len(ls.cells) > 0 {
 				// A new request while a lease is outstanding: most
 				// likely the lease reply was lost or delayed in transit
@@ -669,6 +807,7 @@ func Run(t Transport, cfg Config) (*distsweep.Merged, error) {
 				leases[w] = &leaseState{
 					cells:    make(map[int]bool, len(l.Cells)),
 					deadline: time.Now().Add(opts.LeaseTimeout),
+					granted:  time.Now(),
 				}
 				for _, c := range l.Cells {
 					leases[w].cells[c] = true
@@ -760,6 +899,37 @@ func Run(t Transport, cfg Config) (*distsweep.Merged, error) {
 				if err := requeueCell(c, m.Err); err != nil {
 					return nil, err
 				}
+			}
+			publish()
+
+		case MsgRelease:
+			// A draining worker hands back the cells it will not
+			// evaluate. The release is voluntary, so neither the cell
+			// retry budget nor the worker failure budget is charged —
+			// the cells go straight back on the queue.
+			released := make([]int, 0, len(m.Cells))
+			ls, held := leases[w]
+			for _, c := range m.Cells {
+				if c < 0 || c >= cfg.Cells {
+					continue
+				}
+				if held {
+					delete(ls.cells, c)
+				}
+				if _, ok := done[c]; ok {
+					continue
+				}
+				if !inPending(c) {
+					pending = append(pending, c)
+					released = append(released, c)
+				}
+			}
+			if held && len(ls.cells) == 0 {
+				delete(leases, w)
+			}
+			if len(released) > 0 {
+				sort.Ints(released)
+				cfg.logf("dispatch: worker %s released cells %v back to the queue", w, released)
 			}
 			publish()
 

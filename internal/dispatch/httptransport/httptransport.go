@@ -15,7 +15,11 @@
 //	                                      waitms with none
 //	GET  /v1/status                       coordinator status: queue
 //	                                      depth, per-worker lease state,
-//	                                      finished flag
+//	                                      uptime, lease ages, restart
+//	                                      ledger, finished flag
+//	POST /v1/drain?worker=W               ask the coordinator to drain
+//	                                      worker W (requires an attached
+//	                                      supervisor controller)
 //
 // NewServer is the coordinator side (a dispatch.Transport that also
 // implements dispatch.StatusSink); Dial is the worker side (a
@@ -62,6 +66,7 @@ type Server struct {
 	stopSeen map[string]bool // workers that have received a Stop lease
 	status   dispatch.Status
 	hasState bool
+	ctrl     *dispatch.Controller
 }
 
 // NewServer returns an HTTP dispatch transport with no workers yet.
@@ -140,6 +145,16 @@ func (s *Server) PublishStatus(st dispatch.Status) {
 	s.mu.Unlock()
 }
 
+// AttachControl connects the coordinator's supervisor controller, which
+// enables POST /v1/drain: operators (or an out-of-process supervisor)
+// can ask for a worker to be drained over the same API the fleet
+// speaks.
+func (s *Server) AttachControl(c *dispatch.Controller) {
+	s.mu.Lock()
+	s.ctrl = c
+	s.mu.Unlock()
+}
+
 // DrainStops waits up to timeout for every worker the server has heard
 // from to observe a Stop lease, so a coordinator process can linger
 // just long enough for its fleet to exit cleanly before closing the
@@ -172,7 +187,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/msg", s.handleMsg)
 	mux.HandleFunc("GET /v1/lease", s.handleLease)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("POST /v1/drain", s.handleDrain)
 	return mux
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	worker := r.URL.Query().Get("worker")
+	if worker == "" {
+		http.Error(w, "missing worker", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	ctrl := s.ctrl
+	s.mu.Unlock()
+	if ctrl == nil {
+		http.Error(w, "no supervisor controller attached to this coordinator", http.StatusNotImplemented)
+		return
+	}
+	ctrl.Drain(worker)
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleMsg(w http.ResponseWriter, r *http.Request) {
@@ -290,6 +323,11 @@ type Client struct {
 	// retryFor bounds how long Send keeps retrying a failing POST with
 	// backoff before reporting the transport broken.
 	retryFor time.Duration
+	// retryBase/retryMax/retrySeed parameterize the per-attempt backoff
+	// schedule (dispatch.NewBackoff); see Tune.
+	retryBase time.Duration
+	retryMax  time.Duration
+	retrySeed int64
 }
 
 // Dial prepares a worker client for the coordinator at baseURL (e.g.
@@ -315,20 +353,39 @@ func Dial(baseURL, workerID string, retryFor time.Duration) (*Client, error) {
 		retryFor = 2 * time.Minute
 	}
 	return &Client{
-		base:     strings.TrimRight(u.String(), "/"),
-		id:       workerID,
-		hc:       &http.Client{Timeout: maxLongPoll + 15*time.Second},
-		retryFor: retryFor,
+		base:      strings.TrimRight(u.String(), "/"),
+		id:        workerID,
+		hc:        &http.Client{Timeout: maxLongPoll + 15*time.Second},
+		retryFor:  retryFor,
+		retryBase: 100 * time.Millisecond,
+		retryMax:  2 * time.Second,
+		retrySeed: dispatch.SeedFromID(workerID),
 	}, nil
 }
 
-// backoffStep doubles a retry delay up to a ceiling.
-func backoffStep(d time.Duration) time.Duration {
-	d *= 2
-	if d > 2*time.Second {
-		d = 2 * time.Second
+// Tune overrides the client's retry backoff schedule: each failing
+// attempt inside Send/RecvLease sleeps an exponential
+// backoff-with-jitter delay from base up to max, jitter pinned by seed
+// (0 keeps the worker-id-derived seed). Call before the first request;
+// the CLI threads dispatch.Options.RetryBase/RetryMax here.
+func (c *Client) Tune(base, max time.Duration, seed int64) {
+	if base > 0 {
+		c.retryBase = base
 	}
-	return d
+	if max > 0 {
+		c.retryMax = max
+	}
+	if c.retryMax < c.retryBase {
+		c.retryMax = c.retryBase
+	}
+	if seed != 0 {
+		c.retrySeed = seed
+	}
+}
+
+// backoff starts one retry loop's delay schedule.
+func (c *Client) backoff() *dispatch.Backoff {
+	return dispatch.NewBackoff(c.retryBase, c.retryMax, c.retrySeed)
 }
 
 // Send implements dispatch.WorkerTransport: POST one message frame,
@@ -341,7 +398,7 @@ func (c *Client) Send(m *dispatch.Msg) error {
 		return err
 	}
 	deadline := time.Now().Add(c.retryFor)
-	delay := 100 * time.Millisecond
+	bo := c.backoff()
 	for {
 		err := c.postMsg(frame)
 		if err == nil {
@@ -354,8 +411,7 @@ func (c *Client) Send(m *dispatch.Msg) error {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("httptransport: worker %s: coordinator unreachable for %v: %w", c.id, c.retryFor, err)
 		}
-		time.Sleep(delay)
-		delay = backoffStep(delay)
+		time.Sleep(bo.Next())
 	}
 }
 
@@ -389,7 +445,7 @@ func (c *Client) postMsg(frame []byte) error {
 // restart or a flaky link only slows the worker down.
 func (c *Client) RecvLease(seq int, timeout time.Duration) (*dispatch.Lease, error) {
 	deadline := time.Now().Add(timeout)
-	delay := 100 * time.Millisecond
+	bo := c.backoff()
 	for {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
@@ -403,11 +459,11 @@ func (c *Client) RecvLease(seq int, timeout time.Duration) (*dispatch.Lease, err
 			c.base, url.QueryEscape(c.id), seq, wait.Milliseconds())
 		resp, err := c.hc.Get(u)
 		if err != nil {
+			delay := bo.Next()
 			if time.Until(deadline) <= delay {
 				return nil, nil
 			}
 			time.Sleep(delay)
-			delay = backoffStep(delay)
 			continue
 		}
 		l, err := c.readLease(resp)

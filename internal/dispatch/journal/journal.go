@@ -99,6 +99,7 @@ type record struct {
 	Header    *Header                   `json:"header,omitempty"`
 	Cell      *distsweep.CellEnvelope   `json:"cell,omitempty"`
 	Exclusion *dispatch.WorkerExclusion `json:"exclusion,omitempty"`
+	Restart   *dispatch.WorkerRestart   `json:"restart,omitempty"`
 }
 
 // Journal is an open journal file. It implements dispatch.Journal;
@@ -112,6 +113,7 @@ type Journal struct {
 	header     *Header
 	cells      map[int]*distsweep.CellEnvelope
 	exclusions []dispatch.WorkerExclusion
+	restarts   map[string]dispatch.WorkerRestart
 	truncated  int64
 }
 
@@ -119,16 +121,39 @@ type Journal struct {
 // in dir and replays its records. A torn tail is truncated away —
 // check TruncatedBytes to report it; CRC-valid records that fail
 // validation make Open fail.
+//
+// Open fails fast on a bad directory: it creates dir itself when
+// missing, but refuses to create missing *parents* — a mistyped
+// journal path should be a clear error before the sweep starts, not a
+// silently fresh journal that loses the resume it was meant for (or a
+// write error an hour in).
 func Open(dir string) (*Journal, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("journal: %w", err)
+	switch fi, err := os.Stat(dir); {
+	case err == nil && !fi.IsDir():
+		return nil, fmt.Errorf("journal: %s is a file, not a directory", dir)
+	case err == nil:
+		// exists
+	case os.IsNotExist(err):
+		if mkErr := os.Mkdir(dir, 0o755); mkErr != nil {
+			if os.IsNotExist(mkErr) {
+				return nil, fmt.Errorf("journal: directory %s does not exist and its parent is missing too (mistyped journal path?)", dir)
+			}
+			return nil, fmt.Errorf("journal: cannot create directory %s: %w", dir, mkErr)
+		}
+	default:
+		return nil, fmt.Errorf("journal: stat %s: %w", dir, err)
 	}
 	path := filepath.Join(dir, FileName)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
+		if os.IsPermission(err) {
+			return nil, fmt.Errorf("journal: directory %s is not writable: %w", dir, err)
+		}
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	j := &Journal{path: path, f: f, cells: map[int]*distsweep.CellEnvelope{}}
+	j := &Journal{path: path, f: f,
+		cells:    map[int]*distsweep.CellEnvelope{},
+		restarts: map[string]dispatch.WorkerRestart{}}
 	if err := j.replay(); err != nil {
 		f.Close()
 		return nil, err
@@ -213,6 +238,12 @@ func (j *Journal) apply(rec *record, off int64) error {
 			return fmt.Errorf("journal: %s: exclusion record before the header", j.path)
 		}
 		j.exclusions = append(j.exclusions, *rec.Exclusion)
+	case rec.Restart != nil:
+		if j.header == nil {
+			return fmt.Errorf("journal: %s: restart record before the header", j.path)
+		}
+		// Last record per slot wins: restart counts only grow.
+		j.restarts[rec.Restart.Slot] = *rec.Restart
 	default:
 		return fmt.Errorf("journal: %s: empty record at byte %d", j.path, off)
 	}
@@ -333,6 +364,25 @@ func (j *Journal) AppendExclusion(x dispatch.WorkerExclusion) error {
 	return nil
 }
 
+// AppendRestart journals one fleet-supervisor restart record
+// (dispatch.Journal), so per-slot restart counts and poisoned verdicts
+// survive a coordinator restart.
+func (j *Journal) AppendRestart(r dispatch.WorkerRestart) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if r.Slot == "" {
+		return fmt.Errorf("journal: restart record missing slot name")
+	}
+	if j.header == nil {
+		return fmt.Errorf("journal: %s: append before WriteHeader", j.path)
+	}
+	if err := j.appendRecord(&record{Restart: &r}); err != nil {
+		return err
+	}
+	j.restarts[r.Slot] = r
+	return nil
+}
+
 // Header returns a copy of the journal's header, or nil for a fresh
 // (empty) journal.
 func (j *Journal) Header() *Header {
@@ -368,6 +418,23 @@ func (j *Journal) Exclusions() []dispatch.WorkerExclusion {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return append([]dispatch.WorkerExclusion(nil), j.exclusions...)
+}
+
+// Restarts returns the latest journaled restart record per slot, in
+// slot order — ready for dispatch.Config.Restarts.
+func (j *Journal) Restarts() []dispatch.WorkerRestart {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	slots := make([]string, 0, len(j.restarts))
+	for s := range j.restarts {
+		slots = append(slots, s)
+	}
+	sort.Strings(slots)
+	out := make([]dispatch.WorkerRestart, 0, len(slots))
+	for _, s := range slots {
+		out = append(out, j.restarts[s])
+	}
+	return out
 }
 
 // TruncatedBytes reports how many torn-tail bytes Open dropped, for

@@ -1,0 +1,83 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"exegpt/internal/dispatch"
+)
+
+// TestRestartRoundTrip: the supervisor's restart ledger must replay
+// with the latest record per slot winning, in slot order, with the
+// poisoned verdict intact.
+func TestRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.WriteHeader(newHeader(8)); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []dispatch.WorkerRestart{
+		{Slot: "s0", Worker: "s0r0", Restarts: 1, Reason: "killed by chaos"},
+		{Slot: "s1", Worker: "s1r2", Restarts: 3, Reason: "segfault on startup", Poisoned: true},
+		{Slot: "s0", Worker: "s0r1", Restarts: 2, Reason: "excluded by coordinator: OOM"},
+	} {
+		if err := j.AppendRestart(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	rs := j2.Restarts()
+	if len(rs) != 2 {
+		t.Fatalf("replayed %d restart records, want 2 (latest per slot): %+v", len(rs), rs)
+	}
+	s0, s1 := rs[0], rs[1]
+	if s0.Slot != "s0" || s1.Slot != "s1" {
+		t.Fatalf("restart records not in slot order: %+v", rs)
+	}
+	if s0.Worker != "s0r1" || s0.Restarts != 2 || s0.Poisoned ||
+		!strings.Contains(s0.Reason, "excluded") {
+		t.Fatalf("slot s0 did not replay its latest record: %+v", s0)
+	}
+	if s1.Worker != "s1r2" || s1.Restarts != 3 || !s1.Poisoned {
+		t.Fatalf("slot s1 lost its poisoned verdict: %+v", s1)
+	}
+}
+
+// TestOpenFailsFast: a mistyped journal path must fail at Open with a
+// diagnosis, not at the first append minutes into a sweep.
+func TestOpenFailsFast(t *testing.T) {
+	base := t.TempDir()
+
+	file := filepath.Join(base, "plain-file")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(file); err == nil || !strings.Contains(err.Error(), "is a file") {
+		t.Fatalf("Open(file) = %v, want an is-a-file diagnosis", err)
+	}
+
+	deep := filepath.Join(base, "no-such-parent", "journal")
+	if _, err := Open(deep); err == nil || !strings.Contains(err.Error(), "parent is missing") {
+		t.Fatalf("Open(missing parent) = %v, want a mistyped-path diagnosis", err)
+	}
+
+	// One missing level is created — the convenient case stays easy.
+	j, err := Open(filepath.Join(base, "fresh"))
+	if err != nil {
+		t.Fatalf("Open with one missing level: %v", err)
+	}
+	j.Close()
+}

@@ -1,0 +1,522 @@
+// Package supervisor is the self-healing half of the elastic-fleet
+// story: a reconciliation loop that watches coordinator state (the
+// same snapshot served on /v1/status, read through an in-process
+// dispatch.Controller) and keeps the worker fleet healthy.
+//
+// Three behaviors, all driven by the same periodic tick:
+//
+//   - Replacement. A worker that crashes, or that the coordinator
+//     excluded, is replaced by a fresh incarnation of its slot after an
+//     exponential backoff-with-jitter delay. Replacements are capped:
+//     a slot whose workers keep dying is declared poisoned — recorded
+//     through the coordinator (journaled, visible on /v1/status) and
+//     never restarted again, so a broken worker binary degrades the
+//     fleet loudly instead of crash-looping forever.
+//   - Scaling. While the queue has depth and the fleet is below Max,
+//     one slot is added per tick; when the queue is empty and a worker
+//     has been idle past IdleGrace with the fleet above Min, that
+//     worker is drained — the coordinator stops leasing to it, it
+//     finishes its in-flight cell, and exits.
+//   - Draining. Scale-downs and supervisor shutdown both go through
+//     the coordinator's drain path, so no cell is ever lost to fleet
+//     management: unfinished cells requeue without charging budgets.
+//
+// Worker naming follows a slot/incarnation scheme: slot "s0" runs
+// workers "s0r0", "s0r1", ... — the slot is the stable unit of
+// capacity and backoff/restart accounting, the incarnation is what
+// the dispatch protocol (leases, exclusions, status rows) sees. The
+// per-slot restart ledger is journaled by the coordinator, so restart
+// counts and poisoned verdicts survive coordinator restarts; seed a
+// resumed supervisor with Config.Restarts from the journal replay.
+package supervisor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"exegpt/internal/dispatch"
+)
+
+// Control is the supervisor's view of the coordinator — implemented by
+// *dispatch.Controller, mockable in tests.
+type Control interface {
+	// Status returns the coordinator's latest snapshot, and whether one
+	// has been published yet.
+	Status() (dispatch.Status, bool)
+	// Drain asks the coordinator to stop leasing to a worker.
+	Drain(worker string)
+	// RecordRestart reports a replacement or poisoned verdict; the
+	// coordinator journals it and folds it into the status feed.
+	RecordRestart(r dispatch.WorkerRestart)
+}
+
+// Ops is the supervisor's view of the process fleet — implemented by a
+// thin adapter over distsweep.Fleet in the CLI, by in-process fakes in
+// the chaos tests.
+type Ops interface {
+	// Spawn starts a new worker process under the given incarnation id.
+	Spawn(id string) error
+	// Exited reports whether the named worker's process has exited, and
+	// with what error (nil for a clean exit).
+	Exited(id string) (bool, error)
+	// Kill forcibly terminates a worker that ignored its drain.
+	Kill(id string) error
+}
+
+// Config parameterizes a supervisor run.
+type Config struct {
+	Control Control
+	Fleet   Ops
+	// Min and Max bound the live (non-poisoned) slot count. Min < 1 is
+	// raised to 1; Max < Min is raised to Min.
+	Min, Max int
+	// Interval is the reconciliation tick; <= 0 means 250ms.
+	Interval time.Duration
+	// IdleGrace is how long a worker must sit idle (no lease) with an
+	// empty queue before a scale-down drains it; <= 0 means 3s.
+	IdleGrace time.Duration
+	// DrainGrace is how long a draining worker may linger before it is
+	// killed; <= 0 means 30s.
+	DrainGrace time.Duration
+	// MaxRestarts is how many replacements one slot may burn before it
+	// is declared poisoned; <= 0 means 3.
+	MaxRestarts int
+	// BackoffBase/BackoffMax bound the per-slot restart backoff
+	// schedule; <= 0 mean 500ms and 15s. Jitter is deterministic per
+	// (Seed, slot index).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed pins the restart-backoff jitter schedules.
+	Seed int64
+	// Prefix names slots Prefix+index; empty means "s".
+	Prefix string
+	// Restarts seeds per-slot restart counts and poisoned verdicts from
+	// a journal replay, so a slot that was poisoned before a
+	// coordinator restart stays poisoned and restart counts keep
+	// growing instead of resetting.
+	Restarts []dispatch.WorkerRestart
+	// Logf, when non-nil, receives fleet-management notes.
+	Logf func(format string, args ...any)
+}
+
+type slotState int
+
+const (
+	slotRunning  slotState = iota // worker process believed alive
+	slotBackoff                   // worker died; replacement scheduled
+	slotDraining                  // drain requested; waiting for exit
+	slotPoisoned                  // restart budget spent; never again
+	slotRetired                   // drained out (scale-down) or finished
+)
+
+func (s slotState) String() string {
+	switch s {
+	case slotRunning:
+		return "running"
+	case slotBackoff:
+		return "backoff"
+	case slotDraining:
+		return "draining"
+	case slotPoisoned:
+		return "poisoned"
+	case slotRetired:
+		return "retired"
+	}
+	return "unknown"
+}
+
+// slot is one stable unit of fleet capacity.
+type slot struct {
+	name      string
+	gen       int    // restarts burned; next incarnation is r<gen>
+	worker    string // current (or last) incarnation id
+	state     slotState
+	backoff   *dispatch.Backoff
+	restartAt time.Time // slotBackoff: when to spawn the replacement
+	idleSince time.Time // slotRunning: start of the current idle stretch
+	drainedAt time.Time // slotDraining: when the drain was requested
+	lastErr   string
+}
+
+// SlotInfo is a test- and operator-facing snapshot of one slot.
+type SlotInfo struct {
+	Name     string
+	Worker   string
+	State    string
+	Restarts int
+	LastErr  string
+}
+
+// Supervisor reconciles the worker fleet against coordinator state.
+// Run drives it; all other methods are safe to call concurrently.
+type Supervisor struct {
+	cfg      Config
+	slots    map[string]*slot
+	order    []string
+	nextSlot int
+	snapshot chan chan []SlotInfo
+}
+
+// New validates and defaults cfg and returns an idle supervisor; call
+// Run to start reconciling.
+func New(cfg Config) (*Supervisor, error) {
+	if cfg.Control == nil {
+		return nil, fmt.Errorf("supervisor: no Control")
+	}
+	if cfg.Fleet == nil {
+		return nil, fmt.Errorf("supervisor: no Fleet")
+	}
+	if cfg.Min < 1 {
+		cfg.Min = 1
+	}
+	if cfg.Max < cfg.Min {
+		cfg.Max = cfg.Min
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 250 * time.Millisecond
+	}
+	if cfg.IdleGrace <= 0 {
+		cfg.IdleGrace = 3 * time.Second
+	}
+	if cfg.DrainGrace <= 0 {
+		cfg.DrainGrace = 30 * time.Second
+	}
+	if cfg.MaxRestarts <= 0 {
+		cfg.MaxRestarts = 3
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 500 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 15 * time.Second
+	}
+	if cfg.BackoffMax < cfg.BackoffBase {
+		cfg.BackoffMax = cfg.BackoffBase
+	}
+	if cfg.Prefix == "" {
+		cfg.Prefix = "s"
+	}
+	s := &Supervisor{
+		cfg:      cfg,
+		slots:    map[string]*slot{},
+		snapshot: make(chan chan []SlotInfo),
+	}
+	// Materialize journal-seeded slots up front, so a resumed fleet
+	// comes back with its full pre-restart shape: poisoned slots stay
+	// poisoned (never spawned), partly-burned slots resume their
+	// generation counters.
+	for {
+		name := fmt.Sprintf("%s%d", cfg.Prefix, s.nextSlot)
+		if _, ok := s.seededRestarts(name); !ok {
+			break
+		}
+		s.addSlot(time.Now())
+	}
+	return s, nil
+}
+
+func (s *Supervisor) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// seededRestarts returns the journal-replayed restart record for a
+// slot name, if any.
+func (s *Supervisor) seededRestarts(name string) (dispatch.WorkerRestart, bool) {
+	for _, r := range s.cfg.Restarts {
+		if r.Slot == name {
+			return r, true
+		}
+	}
+	return dispatch.WorkerRestart{}, false
+}
+
+// addSlot creates the next slot. A journal-seeded poisoned slot is
+// created already poisoned (and not spawned); a seeded restart count
+// resumes the generation counter so incarnation ids never collide with
+// pre-restart exclusions.
+func (s *Supervisor) addSlot(now time.Time) *slot {
+	name := fmt.Sprintf("%s%d", s.cfg.Prefix, s.nextSlot)
+	idx := s.nextSlot
+	s.nextSlot++
+	sl := &slot{
+		name:    name,
+		backoff: dispatch.NewBackoff(s.cfg.BackoffBase, s.cfg.BackoffMax, s.cfg.Seed+int64(idx)),
+	}
+	if r, ok := s.seededRestarts(name); ok {
+		sl.gen = r.Restarts
+		sl.lastErr = r.Reason
+		if r.Poisoned {
+			sl.state = slotPoisoned
+			sl.worker = r.Worker
+			s.logf("supervisor: slot %s stays poisoned from a previous run (%d restarts): %s", name, r.Restarts, r.Reason)
+		}
+	}
+	if sl.state != slotPoisoned {
+		// Spawn immediately on the next reconcile pass.
+		sl.state = slotBackoff
+		sl.restartAt = now
+	}
+	s.slots[name] = sl
+	s.order = append(s.order, name)
+	return sl
+}
+
+// Run reconciles until stop fires (normal shutdown: remaining workers
+// are drained), the sweep completes, or the fleet becomes hopeless —
+// every slot poisoned with work remaining — which returns an error so
+// the caller can abort the coordinator instead of idling forever.
+func (s *Supervisor) Run(stop <-chan struct{}) error {
+	tick := time.NewTicker(s.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			s.shutdown()
+			return nil
+		case ch := <-s.snapshot:
+			ch <- s.snapshotLocked()
+		case <-tick.C:
+			finished, err := s.reconcile(time.Now())
+			if err != nil {
+				return err
+			}
+			if finished {
+				return nil
+			}
+		}
+	}
+}
+
+// shutdown asks the coordinator to drain every live worker; the
+// workers release their cells and exit on their own.
+func (s *Supervisor) shutdown() {
+	for _, name := range s.order {
+		sl := s.slots[name]
+		if sl.state == slotRunning {
+			s.cfg.Control.Drain(sl.worker)
+		}
+	}
+}
+
+// Snapshot returns the current slot states (for tests and logs). Only
+// valid while Run is running.
+func (s *Supervisor) Snapshot() []SlotInfo {
+	ch := make(chan []SlotInfo, 1)
+	s.snapshot <- ch
+	return <-ch
+}
+
+func (s *Supervisor) snapshotLocked() []SlotInfo {
+	out := make([]SlotInfo, 0, len(s.order))
+	for _, name := range s.order {
+		sl := s.slots[name]
+		out = append(out, SlotInfo{
+			Name:     sl.name,
+			Worker:   sl.worker,
+			State:    sl.state.String(),
+			Restarts: sl.gen,
+			LastErr:  sl.lastErr,
+		})
+	}
+	return out
+}
+
+// reconcile is one tick: reap exits, schedule replacements, spawn due
+// ones, and scale. Returns finished=true once the sweep is done.
+func (s *Supervisor) reconcile(now time.Time) (bool, error) {
+	st, haveStatus := s.cfg.Control.Status()
+	if haveStatus && st.Done >= st.Total {
+		return true, nil
+	}
+	workers := map[string]dispatch.WorkerStatus{}
+	if haveStatus {
+		for _, ws := range st.Workers {
+			workers[ws.Worker] = ws
+		}
+	}
+
+	// Capacity floor: create slots until Min live ones exist — but
+	// never once any slot has been poisoned. Every slot runs the same
+	// worker binary, so backfilling a poisoned slot with a fresh one
+	// just re-runs the crash loop the restart cap exists to stop; the
+	// fleet runs on its surviving capacity instead.
+	for s.poisonedSlots() == 0 && s.liveSlots() < s.cfg.Min {
+		if s.addSlot(now).state == slotPoisoned {
+			break
+		}
+	}
+
+	for _, name := range s.order {
+		sl := s.slots[name]
+		switch sl.state {
+		case slotRunning:
+			exited, exitErr := s.cfg.Fleet.Exited(sl.worker)
+			if exited {
+				s.replace(sl, now, workers[sl.worker], exitErr)
+				continue
+			}
+			// Excluded workers will observe Stop and exit on their own;
+			// replacement happens when the exit is reaped above. What is
+			// tracked here is idleness for scale-down.
+			ws, known := workers[sl.worker]
+			busy := known && len(ws.Cells) > 0
+			if busy || !haveStatus || st.Queued > 0 {
+				sl.idleSince = time.Time{}
+				continue
+			}
+			if sl.idleSince.IsZero() {
+				sl.idleSince = now
+				continue
+			}
+			if now.Sub(sl.idleSince) >= s.cfg.IdleGrace && s.liveSlots() > s.cfg.Min {
+				s.logf("supervisor: scaling down: draining idle worker %s (queue empty for %v)", sl.worker, now.Sub(sl.idleSince))
+				s.cfg.Control.Drain(sl.worker)
+				sl.state = slotDraining
+				sl.drainedAt = now
+			}
+
+		case slotBackoff:
+			if now.Before(sl.restartAt) {
+				continue
+			}
+			id := fmt.Sprintf("%sr%d", sl.name, sl.gen)
+			if err := s.cfg.Fleet.Spawn(id); err != nil {
+				s.replace(sl, now, dispatch.WorkerStatus{}, fmt.Errorf("spawn: %w", err))
+				continue
+			}
+			sl.worker = id
+			sl.state = slotRunning
+			sl.idleSince = time.Time{}
+			s.logf("supervisor: started worker %s", id)
+
+		case slotDraining:
+			exited, _ := s.cfg.Fleet.Exited(sl.worker)
+			if exited {
+				sl.state = slotRetired
+				s.logf("supervisor: worker %s drained out", sl.worker)
+				continue
+			}
+			if now.Sub(sl.drainedAt) >= s.cfg.DrainGrace {
+				s.logf("supervisor: worker %s ignored its drain for %v, killing it", sl.worker, s.cfg.DrainGrace)
+				s.cfg.Fleet.Kill(sl.worker)
+				sl.state = slotRetired
+			}
+		}
+	}
+
+	// Scale up: queue depth means cells are waiting with no lease, so
+	// capacity helps. One slot per tick keeps the ramp gentle. Poisoned
+	// slots freeze the fleet shape, as with the capacity floor above.
+	if haveStatus && st.Queued > 0 && s.poisonedSlots() == 0 && s.liveSlots() < s.cfg.Max {
+		sl := s.addSlot(now)
+		if sl.state == slotBackoff {
+			s.logf("supervisor: scaling up: adding slot %s (queue depth %d)", sl.name, st.Queued)
+		}
+	}
+
+	// Hopeless fleet: poisoning has eaten every slot that could still
+	// do work. Erroring out lets the caller interrupt the coordinator
+	// instead of both sides waiting forever. (Clear the journal's
+	// restart records — or use a fresh journal — to retry after fixing
+	// the worker binary.)
+	if s.poisonedSlots() > 0 && s.liveSlots() == 0 && s.drainingSlots() == 0 {
+		return false, fmt.Errorf("supervisor: every remaining slot is poisoned (%s); worker binary broken?",
+			strings.Join(s.Poisoned(), ", "))
+	}
+	return false, nil
+}
+
+// replace moves a slot whose worker died (or was excluded, or failed
+// to spawn) to its next incarnation — or declares it poisoned once the
+// restart budget is spent. Every decision is reported through the
+// Control so it lands in the journal and on /v1/status.
+func (s *Supervisor) replace(sl *slot, now time.Time, ws dispatch.WorkerStatus, exitErr error) {
+	reason := "exited cleanly mid-sweep"
+	switch {
+	case ws.Excluded:
+		reason = "excluded by coordinator"
+		if ws.LastError != "" {
+			reason = fmt.Sprintf("excluded by coordinator: %s", firstLine(ws.LastError))
+		}
+	case exitErr != nil:
+		reason = firstLine(exitErr.Error())
+	}
+	sl.gen++
+	sl.lastErr = reason
+	if sl.gen > s.cfg.MaxRestarts {
+		sl.state = slotPoisoned
+		s.logf("supervisor: slot %s poisoned after %d restarts (last worker %s: %s); not restarting",
+			sl.name, s.cfg.MaxRestarts, sl.worker, reason)
+		s.cfg.Control.RecordRestart(dispatch.WorkerRestart{
+			Slot: sl.name, Worker: sl.worker, Restarts: s.cfg.MaxRestarts, Reason: reason, Poisoned: true,
+		})
+		return
+	}
+	delay := sl.backoff.Next()
+	sl.state = slotBackoff
+	sl.restartAt = now.Add(delay)
+	s.logf("supervisor: worker %s died (%s); restart %d/%d of slot %s in %v",
+		sl.worker, reason, sl.gen, s.cfg.MaxRestarts, sl.name, delay)
+	s.cfg.Control.RecordRestart(dispatch.WorkerRestart{
+		Slot: sl.name, Worker: sl.worker, Restarts: sl.gen, Reason: reason,
+	})
+}
+
+// liveSlots counts slots currently providing (or about to provide)
+// capacity: running or awaiting a scheduled restart.
+func (s *Supervisor) liveSlots() int {
+	n := 0
+	for _, sl := range s.slots {
+		if sl.state == slotRunning || sl.state == slotBackoff {
+			n++
+		}
+	}
+	return n
+}
+
+// poisonedSlots counts slots declared poisoned.
+func (s *Supervisor) poisonedSlots() int {
+	n := 0
+	for _, sl := range s.slots {
+		if sl.state == slotPoisoned {
+			n++
+		}
+	}
+	return n
+}
+
+// drainingSlots counts slots waiting out a drain.
+func (s *Supervisor) drainingSlots() int {
+	n := 0
+	for _, sl := range s.slots {
+		if sl.state == slotDraining {
+			n++
+		}
+	}
+	return n
+}
+
+// Poisoned returns the poisoned slot names in slot order — the
+// operator-facing "these need a human" list. Only valid after Run has
+// returned (it reads without synchronization).
+func (s *Supervisor) Poisoned() []string {
+	var out []string
+	for _, name := range s.order {
+		if s.slots[name].state == slotPoisoned {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func firstLine(msg string) string {
+	if i := strings.IndexByte(msg, '\n'); i >= 0 {
+		return msg[:i]
+	}
+	return msg
+}

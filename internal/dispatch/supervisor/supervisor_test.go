@@ -1,0 +1,468 @@
+package supervisor
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"exegpt/internal/dispatch"
+)
+
+// fakeControl is an in-memory Control recording drains and restart
+// reports, with a settable status snapshot.
+type fakeControl struct {
+	mu       sync.Mutex
+	status   dispatch.Status
+	has      bool
+	drains   []string
+	restarts []dispatch.WorkerRestart
+}
+
+func (c *fakeControl) Status() (dispatch.Status, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.status, c.has
+}
+
+func (c *fakeControl) Drain(worker string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.drains = append(c.drains, worker)
+}
+
+func (c *fakeControl) RecordRestart(r dispatch.WorkerRestart) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.restarts = append(c.restarts, r)
+}
+
+func (c *fakeControl) setStatus(s dispatch.Status) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.status, c.has = s, true
+}
+
+func (c *fakeControl) drained() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.drains...)
+}
+
+func (c *fakeControl) records() []dispatch.WorkerRestart {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]dispatch.WorkerRestart(nil), c.restarts...)
+}
+
+// fakeOps is an in-memory Ops: workers spawn instantly and live until
+// the test exits or kills them.
+type fakeOps struct {
+	mu       sync.Mutex
+	spawned  []string
+	spawnAt  map[string]time.Time
+	liveSet  map[string]bool
+	exitSet  map[string]bool
+	exitErr  map[string]error
+	killed   []string
+	spawnErr func(id string) error
+}
+
+func newFakeOps() *fakeOps {
+	return &fakeOps{
+		spawnAt: map[string]time.Time{},
+		liveSet: map[string]bool{},
+		exitSet: map[string]bool{},
+		exitErr: map[string]error{},
+	}
+}
+
+func (o *fakeOps) Spawn(id string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.spawnErr != nil {
+		if err := o.spawnErr(id); err != nil {
+			return err
+		}
+	}
+	o.spawned = append(o.spawned, id)
+	o.spawnAt[id] = time.Now()
+	o.liveSet[id] = true
+	return nil
+}
+
+func (o *fakeOps) Exited(id string) (bool, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.exitSet[id] {
+		return true, o.exitErr[id]
+	}
+	if !o.liveSet[id] {
+		return true, fmt.Errorf("unknown worker %s", id)
+	}
+	return false, nil
+}
+
+func (o *fakeOps) Kill(id string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.killed = append(o.killed, id)
+	o.exitSet[id] = true
+	o.exitErr[id] = errors.New("killed")
+	return nil
+}
+
+// exit marks a worker as having exited with the given error.
+func (o *fakeOps) exit(id string, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.exitSet[id] = true
+	o.exitErr[id] = err
+}
+
+func (o *fakeOps) spawns() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]string(nil), o.spawned...)
+}
+
+func (o *fakeOps) kills() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]string(nil), o.killed...)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// fastCfg is a supervisor config with millisecond-scale timing for
+// tests.
+func fastCfg(ctrl Control, ops Ops) Config {
+	return Config{
+		Control:     ctrl,
+		Fleet:       ops,
+		Min:         1,
+		Max:         1,
+		Interval:    2 * time.Millisecond,
+		IdleGrace:   10 * time.Millisecond,
+		DrainGrace:  50 * time.Millisecond,
+		MaxRestarts: 3,
+		BackoffBase: 2 * time.Millisecond,
+		BackoffMax:  10 * time.Millisecond,
+		Seed:        42,
+	}
+}
+
+// run starts the supervisor on a goroutine and returns an idempotent
+// stop trigger and the Run result channel.
+func run(t *testing.T, cfg Config) (func(), <-chan error) {
+	t.Helper()
+	sup, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var once sync.Once
+	stopFn := func() { once.Do(func() { close(stop) }) }
+	res := make(chan error, 1)
+	done := make(chan struct{})
+	go func() {
+		res <- sup.Run(stop)
+		close(done)
+	}()
+	t.Cleanup(func() {
+		stopFn()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("supervisor did not stop on cleanup")
+		}
+	})
+	return stopFn, res
+}
+
+// TestReplacesCrashedWorker: a crashed worker's slot is restarted
+// under the next incarnation name, and the replacement is reported.
+func TestReplacesCrashedWorker(t *testing.T) {
+	ctrl, ops := &fakeControl{}, newFakeOps()
+	ctrl.setStatus(dispatch.Status{Total: 10, Done: 0, Queued: 5})
+	run(t, fastCfg(ctrl, ops))
+
+	waitFor(t, "first spawn", func() bool { return len(ops.spawns()) >= 1 })
+	if got := ops.spawns()[0]; got != "s0r0" {
+		t.Fatalf("first incarnation = %s, want s0r0", got)
+	}
+	ops.exit("s0r0", errors.New("signal: killed"))
+	waitFor(t, "replacement spawn", func() bool { return len(ops.spawns()) >= 2 })
+	if got := ops.spawns()[1]; got != "s0r1" {
+		t.Fatalf("replacement incarnation = %s, want s0r1", got)
+	}
+	recs := ctrl.records()
+	if len(recs) == 0 {
+		t.Fatal("no restart reported")
+	}
+	r := recs[0]
+	if r.Slot != "s0" || r.Worker != "s0r0" || r.Restarts != 1 || r.Poisoned {
+		t.Fatalf("restart record = %+v", r)
+	}
+	if !strings.Contains(r.Reason, "signal: killed") {
+		t.Fatalf("restart reason %q does not carry the exit error", r.Reason)
+	}
+}
+
+// TestPoisonsAfterMaxRestarts: a slot whose workers keep dying is
+// declared poisoned after MaxRestarts replacements — with backoff gaps
+// between them — and a fleet of only poisoned slots is a fatal error,
+// not an idle loop.
+func TestPoisonsAfterMaxRestarts(t *testing.T) {
+	ctrl, ops := &fakeControl{}, newFakeOps()
+	ctrl.setStatus(dispatch.Status{Total: 10, Done: 0, Queued: 5})
+	cfg := fastCfg(ctrl, ops)
+	cfg.MaxRestarts = 2
+	cfg.BackoffBase = 20 * time.Millisecond
+	cfg.BackoffMax = 40 * time.Millisecond
+	_, res := run(t, cfg)
+
+	// Kill every incarnation as soon as it spawns.
+	go func() {
+		seen := 0
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			for _, id := range ops.spawns()[seen:] {
+				ops.exit(id, errors.New("exit status 1"))
+				seen++
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var err error
+	select {
+	case err = <-res:
+	case <-time.After(5 * time.Second):
+		t.Fatal("supervisor did not give up on an all-poisoned fleet")
+	}
+	if err == nil || !strings.Contains(err.Error(), "poisoned") {
+		t.Fatalf("error = %v, want all-slots-poisoned", err)
+	}
+
+	// Restart budget: r0 plus MaxRestarts replacements, no more.
+	spawns := ops.spawns()
+	if len(spawns) != 3 {
+		t.Fatalf("spawns = %v, want exactly 3 (r0 + 2 restarts)", spawns)
+	}
+	// Backoff observed between replacements: each respawn at least
+	// base/2 after the previous spawn (jitter floor).
+	ops.mu.Lock()
+	gap := ops.spawnAt["s0r1"].Sub(ops.spawnAt["s0r0"])
+	ops.mu.Unlock()
+	if gap < cfg.BackoffBase/2 {
+		t.Errorf("respawn gap %v < backoff floor %v", gap, cfg.BackoffBase/2)
+	}
+	// The final report is the poisoned verdict at the cap.
+	recs := ctrl.records()
+	last := recs[len(recs)-1]
+	if !last.Poisoned || last.Restarts != cfg.MaxRestarts || last.Slot != "s0" {
+		t.Fatalf("final record = %+v, want poisoned at %d restarts", last, cfg.MaxRestarts)
+	}
+}
+
+// TestExclusionReasonInRestartRecord: a worker the coordinator
+// excluded is replaced with the exclusion surfaced as the reason, even
+// though the process exited cleanly.
+func TestExclusionReasonInRestartRecord(t *testing.T) {
+	ctrl, ops := &fakeControl{}, newFakeOps()
+	ctrl.setStatus(dispatch.Status{Total: 10, Queued: 5})
+	run(t, fastCfg(ctrl, ops))
+
+	waitFor(t, "first spawn", func() bool { return len(ops.spawns()) >= 1 })
+	ctrl.setStatus(dispatch.Status{Total: 10, Queued: 5, Workers: []dispatch.WorkerStatus{
+		{Worker: "s0r0", Excluded: true, Failures: 2, LastError: "cell 3: boom\nstack..."},
+	}})
+	ops.exit("s0r0", nil) // excluded workers receive Stop and exit cleanly
+	waitFor(t, "restart report", func() bool { return len(ctrl.records()) >= 1 })
+	r := ctrl.records()[0]
+	if !strings.Contains(r.Reason, "excluded by coordinator") || !strings.Contains(r.Reason, "cell 3: boom") {
+		t.Fatalf("reason = %q, want exclusion with first error line", r.Reason)
+	}
+	if strings.Contains(r.Reason, "stack") {
+		t.Fatalf("reason %q carries more than the first error line", r.Reason)
+	}
+}
+
+// TestScalesUpOnQueueDepth: queue depth grows the fleet one slot per
+// tick up to Max.
+func TestScalesUpOnQueueDepth(t *testing.T) {
+	ctrl, ops := &fakeControl{}, newFakeOps()
+	ctrl.setStatus(dispatch.Status{Total: 100, Queued: 50})
+	cfg := fastCfg(ctrl, ops)
+	cfg.Max = 3
+	run(t, cfg)
+
+	waitFor(t, "scale-up to 3", func() bool { return len(ops.spawns()) >= 3 })
+	spawns := ops.spawns()[:3]
+	want := []string{"s0r0", "s1r0", "s2r0"}
+	for i, id := range want {
+		if spawns[i] != id {
+			t.Fatalf("spawns = %v, want %v", spawns, want)
+		}
+	}
+	// Max respected: give it a few ticks, no fourth slot.
+	time.Sleep(20 * time.Millisecond)
+	if n := len(ops.spawns()); n != 3 {
+		t.Fatalf("%d spawns after settling, want 3 (Max)", n)
+	}
+}
+
+// TestDrainsIdleWorkersDownToMin: with the queue empty, idle workers
+// past IdleGrace are drained down to Min — via the coordinator, so
+// cells cannot be lost — and their exits retire the slots without
+// replacement.
+func TestDrainsIdleWorkersDownToMin(t *testing.T) {
+	ctrl, ops := &fakeControl{}, newFakeOps()
+	ctrl.setStatus(dispatch.Status{Total: 100, Queued: 50})
+	cfg := fastCfg(ctrl, ops)
+	cfg.Max = 3
+	run(t, cfg)
+
+	waitFor(t, "scale-up to 3", func() bool { return len(ops.spawns()) >= 3 })
+	// Queue empties; all workers idle.
+	ctrl.setStatus(dispatch.Status{Total: 100, Done: 10, Queued: 0})
+	waitFor(t, "two drains", func() bool { return len(ctrl.drained()) >= 2 })
+	time.Sleep(20 * time.Millisecond)
+	if n := len(ctrl.drained()); n != 2 {
+		t.Fatalf("%d drains, want exactly 2 (Min=1 survives)", n)
+	}
+	// Drained workers exit cleanly; their slots must not be respawned.
+	for _, id := range ctrl.drained() {
+		ops.exit(id, nil)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if n := len(ops.spawns()); n != 3 {
+		t.Fatalf("%d spawns after drain-out, want 3 (no replacement of drained slots)", n)
+	}
+	if len(ctrl.records()) != 0 {
+		t.Fatalf("drain-outs reported as restarts: %+v", ctrl.records())
+	}
+}
+
+// TestDrainGraceKill: a draining worker that never exits is killed
+// after DrainGrace rather than holding the scale-down hostage.
+func TestDrainGraceKill(t *testing.T) {
+	ctrl, ops := &fakeControl{}, newFakeOps()
+	ctrl.setStatus(dispatch.Status{Total: 100, Queued: 50})
+	cfg := fastCfg(ctrl, ops)
+	cfg.Max = 2
+	cfg.DrainGrace = 20 * time.Millisecond
+	run(t, cfg)
+
+	waitFor(t, "scale-up to 2", func() bool { return len(ops.spawns()) >= 2 })
+	ctrl.setStatus(dispatch.Status{Total: 100, Done: 10, Queued: 0})
+	waitFor(t, "a drain", func() bool { return len(ctrl.drained()) >= 1 })
+	// The worker ignores the drain; the supervisor loses patience.
+	waitFor(t, "the kill", func() bool { return len(ops.kills()) >= 1 })
+	if ops.kills()[0] != ctrl.drained()[0] {
+		t.Fatalf("killed %s, drained %s", ops.kills()[0], ctrl.drained()[0])
+	}
+}
+
+// TestShutdownDrainsFleet: closing stop drains every live worker and
+// returns nil — supervisor shutdown is graceful, not a kill.
+func TestShutdownDrainsFleet(t *testing.T) {
+	ctrl, ops := &fakeControl{}, newFakeOps()
+	ctrl.setStatus(dispatch.Status{Total: 100, Queued: 50})
+	cfg := fastCfg(ctrl, ops)
+	cfg.Max = 2
+	stop, res := run(t, cfg)
+
+	waitFor(t, "scale-up to 2", func() bool { return len(ops.spawns()) >= 2 })
+	stop()
+	if err := <-res; err != nil {
+		t.Fatalf("shutdown error: %v", err)
+	}
+	if n := len(ctrl.drained()); n != 2 {
+		t.Fatalf("%d drains on shutdown, want 2", n)
+	}
+	if n := len(ops.kills()); n != 0 {
+		t.Fatalf("shutdown killed %d workers, want 0", n)
+	}
+}
+
+// TestFinishesWhenSweepDone: a Done == Total status ends the run.
+func TestFinishesWhenSweepDone(t *testing.T) {
+	ctrl, ops := &fakeControl{}, newFakeOps()
+	ctrl.setStatus(dispatch.Status{Total: 10, Done: 10})
+	_, res := run(t, fastCfg(ctrl, ops))
+	select {
+	case err := <-res:
+		if err != nil {
+			t.Fatalf("finished sweep returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("supervisor did not notice the finished sweep")
+	}
+}
+
+// TestSeededRestartsResume: journal-replayed restart records resume
+// slot state across a supervisor restart — a poisoned slot stays
+// poisoned (never spawned), and a partly-burned slot resumes its
+// generation counter so incarnation names never collide with
+// pre-restart exclusions.
+func TestSeededRestartsResume(t *testing.T) {
+	ctrl, ops := &fakeControl{}, newFakeOps()
+	ctrl.setStatus(dispatch.Status{Total: 10, Queued: 5})
+	cfg := fastCfg(ctrl, ops)
+	cfg.Max = 2
+	cfg.Restarts = []dispatch.WorkerRestart{
+		{Slot: "s0", Worker: "s0r2", Restarts: 3, Reason: "exit status 1", Poisoned: true},
+		{Slot: "s1", Worker: "s1r1", Restarts: 2, Reason: "signal: killed"},
+	}
+	run(t, cfg)
+
+	waitFor(t, "resumed spawn", func() bool { return len(ops.spawns()) >= 1 })
+	spawns := ops.spawns()
+	for _, id := range spawns {
+		if strings.HasPrefix(id, "s0") {
+			t.Fatalf("poisoned slot s0 was respawned: %v", spawns)
+		}
+	}
+	if spawns[0] != "s1r2" {
+		t.Fatalf("resumed slot s1 spawned %s, want s1r2 (generation resumed)", spawns[0])
+	}
+}
+
+// TestSpawnFailureBurnsRestartBudget: a binary that cannot even start
+// burns the restart budget and poisons the slot like any other crash
+// loop.
+func TestSpawnFailureBurnsRestartBudget(t *testing.T) {
+	ctrl, ops := &fakeControl{}, newFakeOps()
+	ctrl.setStatus(dispatch.Status{Total: 10, Queued: 5})
+	ops.spawnErr = func(id string) error { return errors.New("no such binary") }
+	cfg := fastCfg(ctrl, ops)
+	cfg.MaxRestarts = 2
+	_, res := run(t, cfg)
+
+	select {
+	case err := <-res:
+		if err == nil || !strings.Contains(err.Error(), "poisoned") {
+			t.Fatalf("error = %v, want poisoned fleet", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("unspawnable fleet never declared poisoned")
+	}
+	recs := ctrl.records()
+	last := recs[len(recs)-1]
+	if !last.Poisoned || !strings.Contains(last.Reason, "no such binary") {
+		t.Fatalf("final record = %+v, want poisoned with the spawn error", last)
+	}
+}

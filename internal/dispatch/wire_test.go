@@ -36,6 +36,25 @@ func TestWireMsgRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWireReleaseRoundTrip: the voluntary-return message must carry
+// its cell list through the codec — a drained worker's released cells
+// ride on it.
+func TestWireReleaseRoundTrip(t *testing.T) {
+	in := &Msg{Type: MsgRelease, Worker: "w1", Cells: []int{5, 2, 7}}
+	data, err := EncodeMsg(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeMsg(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != MsgRelease || out.Worker != "w1" ||
+		len(out.Cells) != 3 || out.Cells[0] != 5 || out.Cells[1] != 2 || out.Cells[2] != 7 {
+		t.Fatalf("round trip mangled the release: %+v", out)
+	}
+}
+
 // TestWireLeaseRoundTrip mirrors the message round trip for leases.
 func TestWireLeaseRoundTrip(t *testing.T) {
 	in := &Lease{Worker: "w1", Seq: 9, Cells: []int{3, 1, 4}, TimeoutMS: 1500, Stop: false}

@@ -39,6 +39,24 @@ type Worker struct {
 	// Idle aborts the worker when no lease reply arrives for this long;
 	// 0 waits forever.
 	Idle time.Duration
+	// RetryBase and RetryMax bound the exponential
+	// backoff-with-deterministic-jitter schedule used for the sleep
+	// after an empty lease and for the re-request window after a lost
+	// lease reply. <= 0 derives conservative values from Poll, so tests
+	// with millisecond polls stay fast; the CLI threads
+	// Options.RetryBase/RetryMax here. RetrySeed pins the jitter
+	// stream; 0 derives a stable seed from the worker ID.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	RetrySeed int64
+	// Drain, when non-nil, switches the worker into a graceful exit
+	// once it fires (a closed channel): the cell being evaluated
+	// finishes and its result is delivered, the rest of the lease is
+	// released back to the coordinator with MsgRelease, and Run returns
+	// nil instead of requesting another lease. The CLI wires SIGINT and
+	// SIGTERM here, so killing a pull worker softly never loses or
+	// strands a cell.
+	Drain <-chan struct{}
 	// Eval evaluates one grid cell (experiments.Context.SweepCells on a
 	// single index, in the CLI).
 	Eval func(cell int) (experiments.CellResult, error)
@@ -76,23 +94,54 @@ func (w *Worker) Run(t WorkerTransport) error {
 		poll = 500 * time.Millisecond
 	}
 
-	// On a lossy transport (an eventually-consistent spool sync) a lease
-	// reply can be lost in transit; after this long without one the
-	// worker re-sends its request under a fresh sequence number instead
-	// of polling a reply that will never come. The coordinator requeues
-	// the orphaned lease's cells on its deadline, so nothing is lost.
-	retry := 10 * poll
-	if retry < 2*time.Second {
-		retry = 2 * time.Second
+	// Retry timing is exponential backoff with deterministic jitter.
+	// Two schedules share one seed space: emptyBo paces re-asks after
+	// an empty lease (reset whenever cells are actually granted), and
+	// requestBo grows the window before a request whose reply never
+	// arrived is re-sent under a fresh sequence number — the
+	// coordinator requeues the orphaned lease's cells on its deadline,
+	// so nothing is lost, but a fleet of workers hammering a slow spool
+	// in lockstep is. Unset bounds derive from Poll so tests with
+	// millisecond polls stay fast.
+	base, ceil := w.RetryBase, w.RetryMax
+	if base <= 0 {
+		base = poll
 	}
+	if ceil <= 0 {
+		ceil = 10 * poll
+		if ceil < 2*time.Second {
+			ceil = 2 * time.Second
+		}
+	}
+	if ceil < base {
+		ceil = base
+	}
+	seed := w.RetrySeed
+	if seed == 0 {
+		seed = SeedFromID(w.ID)
+	}
+	emptyBo := NewBackoff(base, ceil, seed)
+	// The first-request window keeps the old 10*poll-floored-at-2s
+	// behavior so healthy transports never re-request spuriously; lost
+	// replies double it from there.
+	reqWindow := 10 * poll
+	if reqWindow < 2*time.Second {
+		reqWindow = 2 * time.Second
+	}
+	requestBo := NewBackoff(reqWindow, 8*reqWindow, seed+1)
 
 	idleStart := time.Now()
 	for seq := 1; ; seq++ {
+		if w.drained() {
+			w.logf("dispatch: worker %s drained, exiting cleanly", w.ID)
+			return nil
+		}
 		if err := t.Send(&Msg{Version: WireVersion, Type: MsgRequest, Worker: w.ID, Seq: seq, Max: batch}); err != nil {
 			return err
 		}
 		var lease *Lease
 		asked := time.Now()
+		window := requestBo.Next()
 		for lease == nil {
 			l, err := t.RecvLease(seq, poll)
 			if err != nil {
@@ -102,10 +151,14 @@ func (w *Worker) Run(t WorkerTransport) error {
 				lease = l
 				break
 			}
+			if w.drained() {
+				w.logf("dispatch: worker %s drained, exiting cleanly", w.ID)
+				return nil
+			}
 			if w.Idle > 0 && time.Since(idleStart) > w.Idle {
 				return fmt.Errorf("dispatch: worker %s: no lease reply for %v (coordinator gone?)", w.ID, w.Idle)
 			}
-			if time.Since(asked) > retry {
+			if time.Since(asked) > window {
 				w.logf("dispatch: worker %s: no reply to request %d, re-requesting", w.ID, seq)
 				break
 			}
@@ -113,6 +166,7 @@ func (w *Worker) Run(t WorkerTransport) error {
 		if lease == nil {
 			continue // re-request under the next sequence number
 		}
+		requestBo.Reset()
 		idleStart = time.Now()
 		if lease.Stop {
 			w.logf("dispatch: worker %s stopping", w.ID)
@@ -121,13 +175,41 @@ func (w *Worker) Run(t WorkerTransport) error {
 		if len(lease.Cells) == 0 {
 			// Nothing leasable right now; cells may requeue while other
 			// workers hold leases, so back off and ask again.
-			time.Sleep(poll)
+			w.sleep(emptyBo.Next())
 			continue
 		}
+		emptyBo.Reset()
 
 		if err := w.evalLease(t, lease, heartbeat); err != nil {
 			return err
 		}
+	}
+}
+
+// drained reports whether the Drain signal has fired.
+func (w *Worker) drained() bool {
+	if w.Drain == nil {
+		return false
+	}
+	select {
+	case <-w.Drain:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleep waits for d, or less if the Drain signal fires first.
+func (w *Worker) sleep(d time.Duration) {
+	if w.Drain == nil {
+		time.Sleep(d)
+		return
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-w.Drain:
 	}
 }
 
@@ -165,7 +247,16 @@ func (w *Worker) evalLease(t WorkerTransport, lease *Lease, heartbeat time.Durat
 		hb.Wait()
 	}()
 
-	for _, c := range lease.Cells {
+	for i, c := range lease.Cells {
+		if w.drained() {
+			// Finish-in-flight semantics: cells already evaluated went
+			// out as results; everything not yet started goes back to
+			// the coordinator so another worker picks it up immediately
+			// instead of waiting out the lease deadline.
+			rest := append([]int(nil), lease.Cells[i:]...)
+			w.logf("dispatch: worker %s draining: releasing cells %v", w.ID, rest)
+			return t.Send(&Msg{Version: WireVersion, Type: MsgRelease, Worker: w.ID, Cells: rest})
+		}
 		cr, err := w.Eval(c)
 		if err != nil {
 			w.logf("dispatch: worker %s: cell %d failed: %v", w.ID, c, err)

@@ -73,43 +73,134 @@ func SpawnLocal(bin string, baseArgs []string, shards int, outDir string) ([]str
 	return paths, nil
 }
 
-// Fleet is a set of started worker processes. Their stderr tails are
-// readable by name while they run; Wait joins their exit statuses.
-type Fleet struct {
-	cmds  []*exec.Cmd
-	tails map[string]*tailWriter
-	names []string
+// proc is one started worker process. A reaper goroutine records its
+// exit status and closes done, so liveness queries never block.
+type proc struct {
+	cmd  *exec.Cmd
+	tail *tailWriter
+	done chan struct{}
+	err  error // cmd.Wait result; written before done closes
 }
 
-// StartFleet forks one `bin argv...` process per argument vector.
-// names[i] labels worker i in errors and StderrTail lookups; a nil or
-// short names slice falls back to the worker's index. Worker output
-// goes to this process's stderr (tee'd into the tail buffers). If a
-// later fork fails, the already-started workers are killed and waited
-// for rather than leaked.
+// Fleet is a dynamic set of started worker processes: members can be
+// added (Start), probed (Exited), and killed (Kill) while the fleet
+// runs — the shape a fleet supervisor needs to replace crashed workers
+// and scale the fleet mid-sweep. Their stderr tails are readable by
+// name while they run; Wait joins the exit statuses of everything ever
+// started. Safe for concurrent use.
+type Fleet struct {
+	bin string
+
+	mu    sync.Mutex
+	procs map[string]*proc
+	order []string
+}
+
+// NewFleet returns an empty fleet forking the given worker binary.
+func NewFleet(bin string) *Fleet {
+	return &Fleet{bin: bin, procs: map[string]*proc{}}
+}
+
+// Start forks one `bin argv...` worker under the given name. Names are
+// forever: a name stays attached to its (possibly exited) process, so
+// a supervisor replacing a crashed worker starts the replacement under
+// a fresh incarnation name instead of reusing the old one. Worker
+// output goes to this process's stderr (tee'd into the tail buffer).
+func (f *Fleet) Start(name string, argv []string) error {
+	if name == "" {
+		return fmt.Errorf("distsweep: worker needs a name")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.procs[name]; dup {
+		return fmt.Errorf("distsweep: worker %s already started", name)
+	}
+	tail := &tailWriter{limit: stderrTailLimit}
+	cmd := exec.Command(f.bin, argv...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = io.MultiWriter(os.Stderr, tail)
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("distsweep: start worker %s: %w", name, err)
+	}
+	p := &proc{cmd: cmd, tail: tail, done: make(chan struct{})}
+	f.procs[name] = p
+	f.order = append(f.order, name)
+	go func() {
+		p.err = cmd.Wait()
+		close(p.done)
+	}()
+	return nil
+}
+
+// Exited reports whether the named worker's process has exited, and
+// with what error (nil for a clean exit). An unknown name reports
+// exited with an explanatory error, so a supervisor that somehow lost
+// track of a worker replaces it instead of waiting forever.
+func (f *Fleet) Exited(name string) (bool, error) {
+	f.mu.Lock()
+	p := f.procs[name]
+	f.mu.Unlock()
+	if p == nil {
+		return true, fmt.Errorf("distsweep: unknown worker %s", name)
+	}
+	select {
+	case <-p.done:
+		return true, p.err
+	default:
+		return false, nil
+	}
+}
+
+// Kill forcibly terminates the named worker's process. The exit is
+// observed through Exited like any crash.
+func (f *Fleet) Kill(name string) error {
+	f.mu.Lock()
+	p := f.procs[name]
+	f.mu.Unlock()
+	if p == nil {
+		return fmt.Errorf("distsweep: unknown worker %s", name)
+	}
+	return p.cmd.Process.Kill()
+}
+
+// Live returns the names of workers whose processes have not exited
+// yet, in start order.
+func (f *Fleet) Live() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var live []string
+	for _, name := range f.order {
+		select {
+		case <-f.procs[name].done:
+		default:
+			live = append(live, name)
+		}
+	}
+	return live
+}
+
+// StartFleet builds a fleet and forks one `bin argv...` process per
+// argument vector. names[i] labels worker i in errors and StderrTail
+// lookups; a nil or short names slice falls back to the worker's
+// index. If a later fork fails, the already-started workers are killed
+// and waited for rather than leaked.
 func StartFleet(bin string, argvs [][]string, names []string) (*Fleet, error) {
-	f := &Fleet{tails: make(map[string]*tailWriter, len(argvs))}
+	f := NewFleet(bin)
 	for i, argv := range argvs {
 		name := strconv.Itoa(i)
 		if i < len(names) && names[i] != "" {
 			name = names[i]
 		}
-		tail := &tailWriter{limit: stderrTailLimit}
-		cmd := exec.Command(bin, argv...)
-		cmd.Stdout = os.Stderr
-		cmd.Stderr = io.MultiWriter(os.Stderr, tail)
-		if err := cmd.Start(); err != nil {
-			for _, running := range f.cmds {
-				running.Process.Kill()
+		if err := f.Start(name, argv); err != nil {
+			f.mu.Lock()
+			started := append([]string(nil), f.order...)
+			f.mu.Unlock()
+			for _, running := range started {
+				f.Kill(running)
 			}
-			for _, running := range f.cmds {
-				running.Wait()
-			}
-			return nil, fmt.Errorf("distsweep: start worker %s: %w", name, err)
+			f.Wait()
+			return nil, err
 		}
-		f.cmds = append(f.cmds, cmd)
-		f.names = append(f.names, name)
-		f.tails[name] = tail
 	}
 	return f, nil
 }
@@ -117,31 +208,36 @@ func StartFleet(bin string, argvs [][]string, names []string) (*Fleet, error) {
 // StderrTail returns the current tail of the named worker's stderr
 // (empty for unknown names). Safe to call while the fleet runs.
 func (f *Fleet) StderrTail(name string) string {
-	if tail, ok := f.tails[name]; ok {
-		return tail.String()
+	f.mu.Lock()
+	p := f.procs[name]
+	f.mu.Unlock()
+	if p == nil {
+		return ""
 	}
-	return ""
+	return p.tail.String()
 }
 
-// Wait waits for every worker. The returned error joins every failure,
-// each carrying the tail of that worker's stderr.
+// Wait waits for every worker ever started. The returned error joins
+// every failure in start order, each carrying the tail of that
+// worker's stderr.
 func (f *Fleet) Wait() error {
-	errs := make([]error, len(f.cmds))
-	var wg sync.WaitGroup
-	for i, cmd := range f.cmds {
-		wg.Add(1)
-		go func(i int, cmd *exec.Cmd) {
-			defer wg.Done()
-			if err := cmd.Wait(); err != nil {
-				if tail := f.tails[f.names[i]].String(); tail != "" {
-					errs[i] = fmt.Errorf("distsweep: worker %s: %w; stderr tail:\n%s", f.names[i], err, tail)
-				} else {
-					errs[i] = fmt.Errorf("distsweep: worker %s: %w", f.names[i], err)
-				}
+	f.mu.Lock()
+	names := append([]string(nil), f.order...)
+	f.mu.Unlock()
+	var errs []error
+	for _, name := range names {
+		f.mu.Lock()
+		p := f.procs[name]
+		f.mu.Unlock()
+		<-p.done
+		if p.err != nil {
+			if tail := p.tail.String(); tail != "" {
+				errs = append(errs, fmt.Errorf("distsweep: worker %s: %w; stderr tail:\n%s", name, p.err, tail))
+			} else {
+				errs = append(errs, fmt.Errorf("distsweep: worker %s: %w", name, p.err))
 			}
-		}(i, cmd)
+		}
 	}
-	wg.Wait()
 	return errors.Join(errs...)
 }
 

@@ -76,8 +76,8 @@ func TestFleetLiveStderrTails(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer func() {
-		for _, cmd := range fleet.cmds {
-			cmd.Process.Kill()
+		for _, name := range fleet.Live() {
+			fleet.Kill(name)
 		}
 		fleet.Wait()
 	}()
@@ -95,6 +95,62 @@ func TestFleetLiveStderrTails(t *testing.T) {
 	}
 	if got := fleet.StderrTail("nonesuch"); got != "" {
 		t.Fatalf("unknown worker tail = %q, want empty", got)
+	}
+}
+
+// TestFleetDynamicMembership: the supervised-fleet surface — members
+// added while the fleet runs, liveness probed without blocking, killed
+// members observed as crashed, names never reused.
+func TestFleetDynamicMembership(t *testing.T) {
+	fleet := NewFleet("/bin/sh")
+	if err := fleet.Start("s0r0", []string{"-c", "sleep 5"}); err != nil {
+		t.Fatal(err)
+	}
+	if exited, _ := fleet.Exited("s0r0"); exited {
+		t.Fatal("sleeping worker reported exited")
+	}
+	if err := fleet.Start("s0r0", []string{"-c", "true"}); err == nil {
+		t.Fatal("duplicate worker name accepted")
+	}
+	// A quick clean exit is observed as exited with a nil error.
+	if err := fleet.Start("s1r0", []string{"-c", "exit 0"}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if exited, err := fleet.Exited("s1r0"); exited {
+			if err != nil {
+				t.Fatalf("clean exit reported error: %v", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("clean exit never observed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// A killed worker is observed as exited with an error.
+	if err := fleet.Kill("s0r0"); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if exited, err := fleet.Exited("s0r0"); exited {
+			if err == nil {
+				t.Fatal("killed worker reported a clean exit")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("killed worker never observed exiting")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if live := fleet.Live(); len(live) != 0 {
+		t.Fatalf("live = %v, want empty", live)
+	}
+	// An unknown worker reads as exited-with-error, not a hang.
+	if exited, err := fleet.Exited("nonesuch"); !exited || err == nil {
+		t.Fatalf("unknown worker: exited=%v err=%v, want exited with error", exited, err)
 	}
 }
 

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-report sweep-sharded sweep-dispatch sweep-http sweep-resume sweep-scale clean
+.PHONY: all build test race lint bench bench-report sweep-sharded sweep-dispatch sweep-http sweep-resume sweep-scale serve-smoke serve-golden clean
 
 all: build
 
@@ -18,7 +18,7 @@ test:
 # multi-process shard pipeline (concurrent shard workers sharing one
 # profile cache), and the work-stealing dispatcher.
 race:
-	$(GO) test -race ./internal/core/... ./internal/runner/... ./internal/experiments/... ./internal/par/... ./internal/distsweep/... ./internal/atomicfile/... ./internal/dispatch/...
+	$(GO) test -race ./internal/core/... ./internal/runner/... ./internal/experiments/... ./internal/par/... ./internal/distsweep/... ./internal/atomicfile/... ./internal/dispatch/... ./internal/serve/...
 
 # End-to-end sharded sweep on one box: fork 2 local shard worker
 # processes sharing an on-disk profile cache, merge their envelopes, and
@@ -143,6 +143,22 @@ sweep-scale: build
 	cmp $(SCALE_DIR)/single.json $(SCALE_DIR)/scaled.json
 	@echo "self-healing autoscaled sweep == single-process sweep (byte-identical)"
 
+# Online-serving smoke: run a deterministic serving scenario — a rate
+# step that fires one schedule switch — and require the JSON artifact
+# to be byte-identical to the committed golden. A deliberate behavior
+# change regenerates the golden with `make serve-golden`.
+SERVE_DIR := .serve-demo
+SERVE_FLAGS := -quick -arrival step -rate 1 -step-at 40 -step-factor 8 \
+	-duration 120 -slo 5 -window 5 -switch-cost 2 -check-every 2
+serve-smoke: build
+	rm -rf $(SERVE_DIR) && mkdir -p $(SERVE_DIR)
+	./exegpt serve $(SERVE_FLAGS) -json $(SERVE_DIR)/serve.json > /dev/null
+	cmp GOLDEN_serve.json $(SERVE_DIR)/serve.json
+	@echo "serve artifact == committed golden (byte-identical)"
+
+serve-golden: build
+	./exegpt serve $(SERVE_FLAGS) -json GOLDEN_serve.json > /dev/null
+
 lint:
 	$(GO) vet ./...
 	@unformatted=$$(gofmt -l .); \
@@ -162,4 +178,4 @@ bench-report: build
 
 clean:
 	rm -f exegpt
-	rm -rf $(SHARD_DIR) $(DISPATCH_DIR) $(HTTP_DIR) $(RESUME_DIR) $(SCALE_DIR)
+	rm -rf $(SHARD_DIR) $(DISPATCH_DIR) $(HTTP_DIR) $(RESUME_DIR) $(SCALE_DIR) $(SERVE_DIR)

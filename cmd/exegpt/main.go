@@ -6,6 +6,10 @@
 // Usage:
 //
 //	exegpt search  [flags]   find the best schedule for one deployment
+//	exegpt serve   [flags]   long-lived simulated serving loop: open-loop
+//	                         arrivals (-arrival, -rate), windowed SLO
+//	                         reporting, adaptive schedule switching gated
+//	                         by -switch-cost; -json writes the artifact
 //	exegpt sweep   [flags]   grid-evaluate deployments x tasks; -mode
 //	                         selects the distribution role: single,
 //	                         worker/spawn (static shards), dispatch/pull
@@ -47,6 +51,8 @@ func main() {
 	switch cmd {
 	case "search":
 		err = cmdSearch(args)
+	case "serve":
+		err = cmdServe(args)
 	case "sweep":
 		err = cmdSweep(args)
 	case "merge":
@@ -78,6 +84,12 @@ func usage() {
 
 Commands:
   search    find the best schedule for one (model, cluster, task) deployment
+  serve     long-lived simulated serving: seeded open-loop arrivals (poisson,
+            mmpp, diurnal or step) admitted incrementally, per-window
+            p50/p99-vs-SLO time series, and a controller that re-searches on
+            workload drift and switches schedules when the projected gain
+            beats the modeled drain + re-shard cost (-switch-cost); same
+            seed and flags produce a byte-identical -json artifact
   sweep     grid-evaluate deployments x tasks, parallel across deployments;
             -mode picks the distribution role: single (default), worker or
             spawn (static shards across processes), dispatch (work-stealing

@@ -380,8 +380,7 @@ func (e *Engine) runFixedBatch(batch int, reqs []workload.Request, maxOut int) (
 			}
 		}
 	}
-	res.Stats = metrics.Summarize(rec, now)
-	res.Stats.SteadyTput = metrics.SteadyThroughput(ends)
+	res.Stats = metrics.Summarize(rec, now, ends)
 	res.PeakMem = mem.Peak()
 	return res, nil
 }
@@ -488,8 +487,7 @@ func (e *Engine) runIterationLevel(batch int, reqs []workload.Request) (Result, 
 			compactor.Compact()
 		}
 	}
-	res.Stats = metrics.Summarize(rec, now)
-	res.Stats.SteadyTput = metrics.SteadyThroughput(ends)
+	res.Stats = metrics.Summarize(rec, now, ends)
 	res.PeakMem = mem.Peak()
 	return res, nil
 }

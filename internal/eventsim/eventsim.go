@@ -28,6 +28,9 @@ type Event struct {
 	gen  uint64
 	fn   func()
 	dead bool
+	// sim owns the event; Cancel needs it to keep the owner's live-event
+	// count exact without walking the heap.
+	sim *Sim
 }
 
 // Handle refers to a scheduled event. The zero Handle is valid and
@@ -53,8 +56,9 @@ func (h Handle) Time() float64 {
 // dropped lazily: it stays in the heap until the simulation would pop
 // it, then goes straight back to the pool without running.
 func (h Handle) Cancel() {
-	if h.ev != nil && h.ev.gen == h.gen {
+	if h.ev != nil && h.ev.gen == h.gen && !h.ev.dead {
 		h.ev.dead = true
+		h.ev.sim.dead++
 	}
 }
 
@@ -84,6 +88,9 @@ type Sim struct {
 	seq     uint64
 	pending eventHeap
 	steps   uint64
+	// dead counts cancelled events still parked in the heap awaiting
+	// lazy drain; Pending subtracts it so cancelled work is invisible.
+	dead int
 	// free is the Event pool: fired and drained-cancelled events park
 	// here and At reuses them instead of allocating.
 	free []*Event
@@ -118,6 +125,9 @@ func (s *Sim) alloc() *Event {
 // generation bump invalidates every outstanding Handle to it; dropping
 // fn releases the callback's captures.
 func (s *Sim) recycle(ev *Event) {
+	if ev.dead {
+		s.dead--
+	}
 	ev.gen++
 	ev.fn = nil
 	ev.dead = false
@@ -134,7 +144,7 @@ func (s *Sim) At(t float64, fn func()) Handle {
 		panic("eventsim: schedule at NaN")
 	}
 	ev := s.alloc()
-	ev.at, ev.seq, ev.fn = t, s.seq, fn
+	ev.at, ev.seq, ev.fn, ev.sim = t, s.seq, fn, s
 	s.seq++
 	heap.Push(&s.pending, ev)
 	return Handle{ev: ev, gen: ev.gen}
@@ -148,9 +158,10 @@ func (s *Sim) After(d float64, fn func()) Handle {
 	return s.At(s.now+d, fn)
 }
 
-// Pending reports the number of events waiting to fire (including
-// cancelled ones not yet drained).
-func (s *Sim) Pending() int { return len(s.pending) }
+// Pending reports the number of live events waiting to fire. Cancelled
+// events still parked in the heap awaiting lazy drain are excluded, so
+// an idleness check in a long-lived loop never sees phantom work.
+func (s *Sim) Pending() int { return len(s.pending) - s.dead }
 
 // Step processes the single earliest pending event. It reports whether
 // an event was processed. The event's storage is recycled before its

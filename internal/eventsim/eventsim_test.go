@@ -343,3 +343,59 @@ func BenchmarkEventCancelChurn(b *testing.B) {
 		s.Run()
 	}
 }
+
+// TestPendingExcludesCancelled pins the serve-loop idleness contract:
+// a cancelled event must disappear from Pending immediately (O(1) at
+// Cancel), not only when the heap lazily drains it — otherwise a
+// long-lived loop polling Pending sees phantom work and never
+// quiesces.
+func TestPendingExcludesCancelled(t *testing.T) {
+	s := New()
+	h1 := s.At(1, func() {})
+	h2 := s.At(2, func() {})
+	if got := s.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+	h2.Cancel()
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending after cancel = %d, want 1 (cancelled event counted)", got)
+	}
+	// Double-cancel and stale-handle cancel must not double-count.
+	h2.Cancel()
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending after double cancel = %d, want 1", got)
+	}
+	if !s.Step() {
+		t.Fatal("Step found no live event")
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after draining = %d, want 0", got)
+	}
+	h1.Cancel() // already fired: no-op
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after stale cancel = %d, want 0", got)
+	}
+	if s.Step() {
+		t.Fatal("Step ran a cancelled event")
+	}
+}
+
+// TestPendingCancelThenPoll mirrors the serve loop: schedule, cancel,
+// then poll Pending without stepping — the cancelled event must not
+// keep the sim looking busy, and RunUntil past it must drain it.
+func TestPendingCancelThenPoll(t *testing.T) {
+	s := New()
+	fired := false
+	h := s.After(5, func() { fired = true })
+	h.Cancel()
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending = %d, want 0 after cancel", got)
+	}
+	s.RunUntil(10)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending = %d, want 0 after drain", got)
+	}
+}

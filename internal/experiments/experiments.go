@@ -214,6 +214,28 @@ func (c *Context) Deploy(m model.Model, cluster hw.Cluster, gpus int, task workl
 	}, nil
 }
 
+// Redeploy derives a Deployment identical to d but with the estimate
+// path (Simulator, Scheduler, Evaluator) rebuilt around new length
+// distributions — typically empirical estimates observed online after
+// the workload drifted from the distributions the current schedule was
+// searched for. The profile table and runner engine are shared: both
+// are distribution-agnostic. Scheduler knobs (Workers, MaxBatch, MaxND)
+// carry over so a re-search explores the same space.
+func (d *Deployment) Redeploy(in, out *seqdist.Dist) (*Deployment, error) {
+	sim, err := core.NewSimulator(d.Model, d.Cluster, d.Prof, in, out)
+	if err != nil {
+		return nil, err
+	}
+	sch := core.NewScheduler(sim)
+	sch.Workers = d.Sch.Workers
+	sch.MaxBatch = d.Sch.MaxBatch
+	sch.MaxND = d.Sch.MaxND
+	nd := *d
+	nd.In, nd.Out = in, out
+	nd.Sim, nd.Sch, nd.Eval = sim, sch, core.NewEvaluator(sim)
+	return &nd, nil
+}
+
 // RequestStream draws the evaluation request stream (n <= 0 uses the
 // context default).
 func (c *Context) RequestStream(task workload.Task, n int) ([]workload.Request, error) {

@@ -145,12 +145,18 @@ func (s RunStats) EffectiveTput() float64 {
 	return s.Throughput
 }
 
-// Summarize builds RunStats from a recorder and elapsed time.
-func Summarize(r *Recorder, elapsed float64) RunStats {
+// Summarize builds RunStats from a recorder, the elapsed time, and the
+// completion-time series. Taking the completions here (rather than
+// leaving SteadyTput for the caller to fill in) guarantees the field is
+// always populated, so EffectiveTput never silently falls back to
+// whole-run throughput because a caller forgot the second step. A nil
+// or too-short series yields SteadyTput 0, as before.
+func Summarize(r *Recorder, elapsed float64, completionTimes []float64) RunStats {
 	return RunStats{
 		Completed:  r.Count(),
 		Elapsed:    elapsed,
 		Throughput: Throughput(r.Count(), elapsed),
+		SteadyTput: SteadyThroughput(completionTimes),
 		MeanLat:    r.Mean(),
 		P99Lat:     r.Percentile(0.99),
 		MaxLat:     r.Max(),

@@ -89,9 +89,26 @@ func TestSummarizeAndString(t *testing.T) {
 	r := NewRecorder()
 	r.Add(1)
 	r.Add(3)
-	s := Summarize(r, 2)
+	s := Summarize(r, 2, nil)
 	if s.Completed != 2 || s.Throughput != 1 || s.MeanLat != 2 || s.MaxLat != 3 {
 		t.Fatalf("stats = %+v", s)
+	}
+	if s.SteadyTput != 0 {
+		t.Fatalf("SteadyTput = %v, want 0 for a too-short completion series", s.SteadyTput)
+	}
+	// With a completion series, SteadyTput is always populated (the old
+	// API silently left it zero unless the caller remembered a second
+	// call, and EffectiveTput quietly fell back to whole-run throughput).
+	ends := make([]float64, 16)
+	for i := range ends {
+		ends[i] = float64(i + 1)
+	}
+	s = Summarize(r, 2, ends)
+	if want := SteadyThroughput(ends); s.SteadyTput != want || want == 0 {
+		t.Fatalf("SteadyTput = %v, want %v (non-zero)", s.SteadyTput, want)
+	}
+	if s.EffectiveTput() != s.SteadyTput {
+		t.Fatalf("EffectiveTput = %v, want steady %v", s.EffectiveTput(), s.SteadyTput)
 	}
 	if !strings.Contains(s.String(), "tput=1.00") {
 		t.Fatalf("String() = %q", s.String())

@@ -1,0 +1,479 @@
+// Open-loop execution: the incremental admission seam used by the
+// online serving mode (`exegpt serve`).
+//
+// The batch entry point (Engine.Run) drains a pre-drawn request slice
+// to empty. An OpenRun instead owns a long-lived event simulation that
+// requests are pushed into as they arrive: the engine admits from the
+// live queue, goes idle when there is no work, wakes on the next
+// arrival, and can be drained at any point so a controller can switch
+// schedules — in-flight queries finish under the old schedule, queued
+// ones carry over to the successor engine with their original arrival
+// timestamps. Latency is therefore measured from arrival (queueing
+// included), which is what per-window SLO attainment reports need.
+//
+// Both policies are supported: RRA runs its synchronized
+// encode-then-ND-decodes cycle as a chain of simulator events; WAA
+// mirrors the asynchronous encoder/decoder pipelines of runWAA with the
+// pre-drawn FIFO replaced by the live queue. Everything is virtual-time
+// and single-goroutine, so a run is bit-for-bit deterministic.
+package runner
+
+import (
+	"fmt"
+
+	"exegpt/internal/eventsim"
+	"exegpt/internal/metrics"
+	"exegpt/internal/sched"
+	"exegpt/internal/workload"
+)
+
+// Arrival pairs a request with its arrival time in virtual seconds.
+type Arrival struct {
+	Req workload.Request
+	At  float64
+}
+
+// OpenRun is one schedule's live execution. It is not safe for
+// concurrent use; the serving loop drives it from one goroutine.
+type OpenRun struct {
+	eng    *Engine
+	cfg    sched.Config
+	alloc  sched.Allocation
+	sim    *eventsim.Sim
+	states []*stageState
+
+	queue     reqFIFO
+	arrivedAt map[int]float64 // request ID -> arrival time
+	active    []*query        // query.start is the arrival time
+	totalIn   int64
+	arrivals  int64
+
+	rec     *metrics.Recorder
+	res     Result
+	startAt float64
+
+	// admitting is cleared by Drain: the engine stops taking requests
+	// off the queue but finishes everything already admitted/encoded.
+	admitting bool
+	// parked is set when the admission side has no work and its event
+	// chain has ended; the next arrival restarts it.
+	parked bool
+	err    error
+
+	// OnComplete, when set, observes every completion as it happens
+	// (the serving loop feeds windowed recorders from it).
+	OnComplete func(QueryRecord)
+
+	// WAA pipeline state (mirrors runWAA).
+	isWAA                bool
+	encStages, decStages []sched.Stage
+	bm                   int
+	inbox                []openArrival
+	inflight             int // encoder batches not yet fully merged
+	inflightReqs         int // requests encoded but not yet active
+	maxInflight          int
+	decoding             bool
+}
+
+// openArrival is an encoded batch in KV handover or waiting for decoder
+// capacity.
+type openArrival struct {
+	batch []workload.Request
+}
+
+// Open starts an open-loop execution of the schedule with the engine's
+// clock positioned at startAt (the serving loop uses one global virtual
+// timeline across successive engines).
+func (e *Engine) Open(cfg sched.Config, alloc sched.Allocation, startAt float64) (*OpenRun, error) {
+	if err := cfg.Validate(e.Cluster.TotalGPUs()); err != nil {
+		return nil, err
+	}
+	states, err := e.newStageStates(alloc)
+	if err != nil {
+		return nil, err
+	}
+	o := &OpenRun{
+		eng: e, cfg: cfg, alloc: alloc,
+		sim:       eventsim.New(),
+		states:    states,
+		arrivedAt: map[int]float64{},
+		rec:       metrics.NewRecorder(),
+		res:       Result{EncStage: metrics.NewRecorder(), DecStage: metrics.NewRecorder()},
+		startAt:   startAt,
+		admitting: true,
+		parked:    true,
+	}
+	o.sim.MaxSteps = 500_000_000
+	if cfg.Policy.IsWAA() {
+		o.isWAA = true
+		o.encStages = alloc.EncStages()
+		o.decStages = alloc.DecStages()
+		if len(o.encStages) == 0 || len(o.decStages) == 0 {
+			return nil, fmt.Errorf("runner: WAA needs dedicated encode and decode stages")
+		}
+		o.bm = cfg.Bm
+		if o.bm > len(o.decStages) {
+			o.bm = len(o.decStages)
+		}
+		// Same in-flight bound as the batch engine: the encoder pipeline
+		// holds one batch per stage plus handover slack.
+		o.maxInflight = len(o.encStages) + 3
+	}
+	if startAt > 0 {
+		o.sim.RunUntil(startAt)
+	}
+	return o, nil
+}
+
+// Now returns the engine's current virtual time.
+func (o *OpenRun) Now() float64 { return o.sim.Now() }
+
+// Err returns the first execution error, if any.
+func (o *OpenRun) Err() error { return o.err }
+
+// Config returns the schedule being executed.
+func (o *OpenRun) Config() sched.Config { return o.cfg }
+
+// Queued returns the number of arrived requests not yet admitted.
+func (o *OpenRun) Queued() int { return o.queue.len() }
+
+// QueueDepth returns all requests in the system: queued, encoded
+// in-flight (WAA handover), and actively decoding.
+func (o *OpenRun) QueueDepth() int {
+	return o.queue.len() + o.inflightReqs + len(o.active)
+}
+
+// Done reports whether no work remains anywhere in the engine.
+func (o *OpenRun) Done() bool {
+	return o.queue.len() == 0 && o.inflightReqs == 0 && len(o.active) == 0
+}
+
+// Records returns the completions so far (Start is the arrival time).
+func (o *OpenRun) Records() []QueryRecord { return o.res.Records }
+
+// Result summarizes the execution so far.
+func (o *OpenRun) Result() Result {
+	res := o.res
+	res.Stats = metrics.Summarize(o.rec, o.sim.Now()-o.startAt, completionTimes(o.res.Records))
+	res.PeakDecMemPerGPU = peakMem(o.states)
+	return res
+}
+
+// meanIn is the running mean input length over everything that arrived;
+// the batch engine's fixed whole-stream mean is not available online.
+func (o *OpenRun) meanIn() float64 {
+	if o.arrivals == 0 {
+		return 1
+	}
+	return float64(o.totalIn) / float64(o.arrivals)
+}
+
+// Push delivers a request to the engine. An arrival at or before the
+// engine's clock is applied immediately (the serving loop replays
+// backlog from a predecessor engine this way — at keeps the original
+// arrival time so queueing latency carries across a schedule switch);
+// a future arrival is scheduled as a simulator event.
+func (o *OpenRun) Push(req workload.Request, at float64) {
+	if o.err != nil {
+		return
+	}
+	if at <= o.sim.Now() {
+		o.applyArrival(req, at)
+		return
+	}
+	o.sim.At(at, func() { o.applyArrival(req, at) })
+}
+
+func (o *OpenRun) applyArrival(req workload.Request, at float64) {
+	o.queue.push(req)
+	o.arrivedAt[req.ID] = at
+	o.arrivals++
+	o.totalIn += int64(req.InLen)
+	if o.parked {
+		o.parked = false
+		if o.isWAA {
+			o.startEncode()
+		} else {
+			o.rraCycle()
+		}
+	}
+}
+
+// RunUntil advances the engine's virtual time to t, processing every
+// event due by then.
+func (o *OpenRun) RunUntil(t float64) error {
+	o.sim.RunUntil(t)
+	return o.err
+}
+
+// Finish runs the engine until every pushed request — including ones
+// whose arrival events have not fired yet — has been admitted and
+// completed. Use Drain instead to cut admission at a schedule switch.
+func (o *OpenRun) Finish() error {
+	o.sim.Run()
+	return o.err
+}
+
+// Drain stops admission and runs the engine until every admitted (and,
+// for WAA, already-encoded) request completes. Requests still queued
+// unadmitted are returned with their original arrival times so they can
+// be replayed into a successor engine. The engine must not be used
+// after Drain except to read results.
+func (o *OpenRun) Drain() ([]Arrival, error) {
+	o.admitting = false
+	o.sim.Run()
+	if o.err != nil {
+		return nil, o.err
+	}
+	leftover := make([]Arrival, 0, o.queue.len())
+	for o.queue.len() > 0 {
+		r := o.queue.peek(1)[0]
+		o.queue.advance(1)
+		leftover = append(leftover, Arrival{Req: r, At: o.arrivedAt[r.ID]})
+		delete(o.arrivedAt, r.ID)
+	}
+	return leftover, nil
+}
+
+// hasEncodeWork reports whether the admission side may take requests.
+func (o *OpenRun) hasEncodeWork() bool {
+	return o.admitting && o.queue.len() > 0
+}
+
+// complete applies one decode iteration's survivors/completions at the
+// current virtual time.
+func (o *OpenRun) complete() {
+	now := o.sim.Now()
+	survivors := o.active[:0]
+	for _, q := range o.active {
+		q.pos++
+		if q.pos >= q.req.OutLen {
+			release(o.states, q.req.ID)
+			o.rec.Add(now - q.start)
+			rec := QueryRecord{
+				ID: q.req.ID, Start: q.start, End: now,
+				InLen: q.req.InLen, OutLen: q.req.OutLen,
+			}
+			o.res.Records = append(o.res.Records, rec)
+			delete(o.arrivedAt, q.req.ID)
+			if o.OnComplete != nil {
+				o.OnComplete(rec)
+			}
+		} else {
+			if err := appendToken(o.states, q.req.ID); err != nil {
+				o.err = fmt.Errorf("runner: open decode OOM: %w", err)
+				return
+			}
+			survivors = append(survivors, q)
+		}
+	}
+	o.active = survivors
+}
+
+// rraCycle runs one RRA cycle: an encoding phase over whatever has
+// arrived (skipped when the queue is empty or admission stopped), then
+// up to ND decode iterations. With no work at all the engine parks.
+func (o *OpenRun) rraCycle() {
+	if o.err != nil {
+		return
+	}
+	if !o.hasEncodeWork() && len(o.active) == 0 {
+		o.parked = true
+		return
+	}
+	var encDur float64
+	if o.hasEncodeWork() {
+		batch := o.eng.takeEncodeBatch(&o.queue, o.cfg.BE, o.meanIn(), len(o.active), o.cfg.BD)
+		admitted, tokens := 0, 0
+		for i, r := range batch {
+			if err := admit(o.states, r.ID, o.eng.promptTokens(r)); err != nil {
+				o.queue.rewind(len(batch) - i)
+				break
+			}
+			o.active = append(o.active, &query{req: r, start: o.arrivedAt[r.ID]})
+			admitted++
+			tokens += r.InLen
+		}
+		if admitted == 0 && len(o.active) == 0 {
+			o.err = fmt.Errorf("runner: open RRA query %d does not fit in KV memory even on an idle system", batch[0].ID)
+			return
+		}
+		if admitted > 0 {
+			microTokens := tokens / rraMicroBatches
+			if microTokens < 1 {
+				microTokens = 1
+			}
+			times, err := o.eng.encStageTimes(o.alloc.Stages, microTokens, o.meanIn())
+			if err != nil {
+				o.err = err
+				return
+			}
+			for _, t := range times {
+				o.res.EncStage.Add(t)
+			}
+			encDur = pipelinePeriod(times, rraMicroBatches)
+		}
+	}
+	o.sim.After(encDur, func() { o.rraDecode(0) })
+}
+
+// rraDecode runs decode iteration u of the current cycle.
+func (o *OpenRun) rraDecode(u int) {
+	if o.err != nil {
+		return
+	}
+	if u >= o.cfg.ND || len(o.active) == 0 {
+		o.rraCycle()
+		return
+	}
+	ctx := meanCtxOf(o.eng.Model, o.active)
+	micro := len(o.active) / rraMicroBatches
+	if micro < 1 {
+		micro = 1
+	}
+	times, err := o.eng.decStageTimes(o.alloc.Stages, micro, ctx)
+	if err != nil {
+		o.err = err
+		return
+	}
+	for _, t := range times {
+		o.res.DecStage.Add(t)
+	}
+	o.sim.After(pipelinePeriod(times, rraMicroBatches), func() {
+		o.res.Iterations++
+		o.complete()
+		if o.err != nil {
+			return
+		}
+		if cost, ran := o.eng.maybeCompact(o.states); ran {
+			o.res.Compactions++
+			o.res.CompactionSeconds += cost
+			o.sim.After(cost, func() { o.rraDecode(u + 1) })
+			return
+		}
+		o.rraDecode(u + 1)
+	})
+}
+
+// startEncode issues one WAA encoder batch from the live queue and
+// pipelines the next issue one stage period later, exactly as the
+// batch engine does; with nothing to take it parks (arrival wakes it),
+// and at the in-flight cap it stops (the decoder restarts it on merge).
+func (o *OpenRun) startEncode() {
+	if o.err != nil {
+		return
+	}
+	if !o.hasEncodeWork() {
+		o.parked = true
+		return
+	}
+	if o.inflight >= o.maxInflight {
+		return
+	}
+	batch := o.eng.takeEncodeBatch(&o.queue, o.cfg.BE, o.meanIn(), len(o.active), o.cfg.BD)
+	tokens := 0
+	for _, r := range batch {
+		tokens += r.InLen
+	}
+	times, terr := o.eng.encStageTimes(o.encStages, tokens, o.meanIn())
+	if terr != nil {
+		o.err = terr
+		return
+	}
+	for _, t := range times {
+		o.res.EncStage.Add(t)
+	}
+	period, trav := 0.0, 0.0
+	for _, t := range times {
+		trav += t
+		if t > period {
+			period = t
+		}
+	}
+	handover := trav + o.eng.Prof.KVTransfer(tokens)
+	o.inflight++
+	o.inflightReqs += len(batch)
+	o.sim.After(handover, func() {
+		o.inbox = append(o.inbox, openArrival{batch: batch})
+		if !o.decoding {
+			o.iterate()
+		}
+	})
+	o.sim.After(period, o.startEncode)
+}
+
+// iterate is the WAA decoder loop: merge arrived batches that fit, run
+// one iteration, reschedule. Mirrors runWAA's iterate over the live
+// queue.
+func (o *OpenRun) iterate() {
+	if o.err != nil {
+		return
+	}
+	waiting := o.inbox[:0]
+	merged := false
+	for _, a := range o.inbox {
+		i := 0
+		for ; i < len(a.batch); i++ {
+			r := a.batch[i]
+			if err := admit(o.states, r.ID, o.eng.promptTokens(r)); err != nil {
+				break
+			}
+			o.active = append(o.active, &query{req: r, start: o.arrivedAt[r.ID]})
+			o.inflightReqs--
+			merged = true
+		}
+		if i < len(a.batch) {
+			if len(o.active) == 0 {
+				o.err = fmt.Errorf("runner: open WAA query %d does not fit in KV memory even on an idle decoder", a.batch[i].ID)
+				return
+			}
+			waiting = append(waiting, openArrival{batch: a.batch[i:]})
+		} else {
+			o.inflight--
+		}
+	}
+	o.inbox = waiting
+	if merged {
+		// In-flight capacity just freed: restart the encoder, whether it
+		// stopped on the cap or parked on an empty queue (startEncode
+		// re-parks if there is still nothing to take).
+		o.parked = false
+		o.startEncode()
+	}
+	if o.err != nil {
+		return
+	}
+	if len(o.active) == 0 {
+		o.decoding = false
+		return // park the decoder; the next merge restarts it
+	}
+	o.decoding = true
+
+	micro := len(o.active) / o.bm
+	if micro < 1 {
+		micro = 1
+	}
+	ctx := meanCtxOf(o.eng.Model, o.active)
+	times, terr := o.eng.decStageTimes(o.decStages, micro, ctx)
+	if terr != nil {
+		o.err = terr
+		return
+	}
+	for _, t := range times {
+		o.res.DecStage.Add(t)
+	}
+	dur := pipelinePeriod(times, o.bm)
+	if cost, ran := o.eng.maybeCompact(o.states); ran {
+		dur += cost
+		o.res.Compactions++
+		o.res.CompactionSeconds += cost
+	}
+	o.sim.After(dur, func() {
+		o.res.Iterations++
+		o.complete()
+		if o.err != nil {
+			return
+		}
+		o.iterate()
+	})
+}

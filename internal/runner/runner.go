@@ -347,6 +347,20 @@ func (q *reqFIFO) advance(n int) { q.head += n }
 // the backing array).
 func (q *reqFIFO) rewind(n int) { q.head -= n }
 
+// push appends a newly arrived request to the queue tail (open-loop
+// runs grow the queue incrementally instead of pre-drawing it). When
+// the consumed prefix dominates the backing array it is compacted into
+// a fresh allocation, which leaves any in-flight batch subslices on the
+// old array untouched; appending into spare capacity is equally safe
+// because in-flight subslices are never read past their length.
+func (q *reqFIFO) push(r workload.Request) {
+	if q.head > 64 && q.head > len(q.items)/2 {
+		q.items = append([]workload.Request(nil), q.items[q.head:]...)
+		q.head = 0
+	}
+	q.items = append(q.items, r)
+}
+
 // takeEncodeBatch pops the next encode batch under dynamic workload
 // adjustment (§5.2): the number taken starts from want and is adjusted
 // so that (a) the summed input length stays within Theta of the average
@@ -516,8 +530,7 @@ func (e *Engine) runRRA(cfg sched.Config, alloc sched.Allocation, reqs []workloa
 			}
 		}
 	}
-	res.Stats = metrics.Summarize(rec, now)
-	res.Stats.SteadyTput = metrics.SteadyThroughput(completionTimes(res.Records))
+	res.Stats = metrics.Summarize(rec, now, completionTimes(res.Records))
 	res.PeakDecMemPerGPU = peakMem(states)
 	return res, nil
 }
@@ -722,8 +735,7 @@ func (e *Engine) runWAA(cfg sched.Config, alloc sched.Allocation, reqs []workloa
 	if runErr != nil {
 		return Result{}, runErr
 	}
-	res.Stats = metrics.Summarize(rec, end)
-	res.Stats.SteadyTput = metrics.SteadyThroughput(completionTimes(res.Records))
+	res.Stats = metrics.Summarize(rec, end, completionTimes(res.Records))
 	res.PeakDecMemPerGPU = peakMem(states)
 	if res.Stats.Completed != len(reqs) {
 		return Result{}, fmt.Errorf("runner: WAA completed %d of %d requests (stall)", res.Stats.Completed, len(reqs))

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Summary renders the report for humans: run header, selected
+// schedules, switch timeline, and the per-window time series.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	slo := "none"
+	if r.SLO > 0 && !math.IsInf(r.SLO, 1) {
+		slo = fmt.Sprintf("%.3fs", r.SLO)
+	}
+	fmt.Fprintf(&b, "serve: %s on %s, task %s — %s arrivals at %.2f req/s for %.0fs (seed %d, SLO %s)\n",
+		r.Model, r.Cluster, r.Task, r.Arrival, r.Rate, r.Duration, r.Seed, slo)
+	fmt.Fprintf(&b, "initial schedule: %s %s (%.2f seq/s at %.3fs)\n",
+		r.Initial.Policy, r.Initial.Config, r.Initial.Tput, r.Initial.Latency)
+
+	for _, d := range r.Decisions {
+		verdict := "no switch"
+		if d.Switched {
+			verdict = "SWITCH"
+		}
+		fmt.Fprintf(&b, "t=%7.1f decision: rate %.2f req/s (drift %.0f%%/%.0f%%/%.0f%%) -> %s %s  gain %.1f vs cost %.1f req: %s (%s)\n",
+			d.At, d.ObsRate, 100*d.RateDrift, 100*d.InDrift, 100*d.OutDrift,
+			d.Candidate.Policy, d.Candidate.Config, d.GainReqs, d.CostReqs, verdict, d.Reason)
+	}
+	for _, s := range r.Switches {
+		fmt.Fprintf(&b, "t=%7.1f switch: %s -> %s, drained %.1fs + %.1fs re-shard (backlog %d carried)\n",
+			s.DecidedAt, s.From.Config, s.To.Config, s.DrainEnd-s.DecidedAt, s.ResumeAt-s.DrainEnd, s.Backlog)
+	}
+
+	b.WriteString("\nwindow     arrived  done  queue  rate    tput    p50      p99      viol\n")
+	for _, w := range r.Windows {
+		queue := "-"
+		if w.QueueDepth >= 0 {
+			queue = fmt.Sprintf("%d", w.QueueDepth)
+		}
+		fmt.Fprintf(&b, "%6.0f-%-5.0f %6d %5d %6s  %-6.2f  %-6.2f  %-7.3f  %-7.3f  %d\n",
+			w.Start, w.End, w.Arrived, w.Completed, queue, w.Rate, w.Tput, w.P50Lat, w.P99Lat, w.SLOViolations)
+	}
+
+	t := r.Totals
+	fmt.Fprintf(&b, "\ntotals: %d arrived, %d completed in %.1fs — %.2f seq/s total, %.2f seq/s steady\n",
+		t.Arrived, t.Completed, t.DrainedAt, t.Throughput, t.SteadyTput)
+	fmt.Fprintf(&b, "latency: mean %.3fs, p50 %.3fs, p99 %.3fs, max %.3fs; %d SLO violations\n",
+		t.MeanLat, t.P50Lat, t.P99Lat, t.MaxLat, t.SLOViolations)
+	fmt.Fprintf(&b, "controller: %d searches, %d decisions, %d switches\n",
+		t.Searches, len(r.Decisions), t.Switches)
+	return b.String()
+}

@@ -72,14 +72,26 @@ var Tasks = []Task{Summarization, Translation, CodeGeneration, ConvQA1, ConvQA2}
 // RealDatasets lists the §7.5 dataset emulations.
 var RealDatasets = []Task{WMT, Alpaca, CNN}
 
+// tasksByID indexes every task (synthetic and dataset) by identifier,
+// built once instead of rebuilding the concatenated slice per lookup.
+var tasksByID = func() map[string]Task {
+	m := make(map[string]Task, len(Tasks)+len(RealDatasets))
+	for _, t := range Tasks {
+		m[t.ID] = t
+	}
+	for _, t := range RealDatasets {
+		m[t.ID] = t
+	}
+	return m
+}()
+
 // ByID returns a task (synthetic or dataset) by its identifier.
 func ByID(id string) (Task, error) {
-	for _, t := range append(append([]Task{}, Tasks...), RealDatasets...) {
-		if t.ID == id {
-			return t, nil
-		}
+	t, ok := tasksByID[id]
+	if !ok {
+		return Task{}, fmt.Errorf("workload: unknown task %q", id)
 	}
-	return Task{}, fmt.Errorf("workload: unknown task %q", id)
+	return t, nil
 }
 
 // Dists materializes both length distributions.

@@ -182,3 +182,18 @@ func TestEstimateDists(t *testing.T) {
 		t.Fatal("empty estimate should error")
 	}
 }
+
+func TestByIDCoversAllTasks(t *testing.T) {
+	for _, want := range append(append([]Task{}, Tasks...), RealDatasets...) {
+		got, err := ByID(want.ID)
+		if err != nil {
+			t.Fatalf("ByID(%q): %v", want.ID, err)
+		}
+		if got != want {
+			t.Fatalf("ByID(%q) = %+v, want %+v", want.ID, got, want)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("ByID(nope) did not error")
+	}
+}

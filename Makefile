@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-report sweep-sharded sweep-dispatch sweep-http sweep-resume sweep-scale serve-smoke serve-golden clean
+.PHONY: all build test race lint bench bench-report sweep-sharded sweep-dispatch sweep-http sweep-resume sweep-scale serve-smoke serve-golden policy-conformance clean
 
 all: build
 
@@ -158,6 +158,13 @@ serve-smoke: build
 
 serve-golden: build
 	./exegpt serve $(SERVE_FLAGS) -json GOLDEN_serve.json > /dev/null
+
+# Execution-policy seam: run the per-family conformance suite under the
+# race detector and forbid new policy-identity branches outside the
+# sched registry.
+policy-conformance:
+	$(GO) test -race ./internal/sched/familytest/
+	./scripts/policy_gate.sh
 
 lint:
 	$(GO) vet ./...

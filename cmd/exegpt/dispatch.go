@@ -35,7 +35,7 @@ func gridFlags(fs *flag.FlagSet) *gridFlagSet {
 		models:   fs.String("models", "", "comma-separated model names (default: every Table 2 model)"),
 		gpus:     fs.String("gpus", "", "comma-separated cluster sizes overriding Table 2 (e.g. 4,8,16)"),
 		tasks:    fs.String("tasks", "", "comma-separated task IDs (default: S,T,G,C1,C2)"),
-		policies: fs.String("policies", "all", "policy set: rra, waa or all"),
+		policies: fs.String("policies", "all", "policy set: rra, waa, disagg or all"),
 	}
 }
 

@@ -137,17 +137,21 @@ func commonFlags(fs *flag.FlagSet) func() *experiments.Context {
 }
 
 // parsePolicies maps a policy-set name to scheduler policy groups.
-// "rra" and "waa" select one family; "all" searches both.
+// "rra" and "waa" select one family; "all" searches both paper
+// families. "disagg" opts into the experimental disaggregated
+// prefill/decode family, which "all" deliberately excludes.
 func parsePolicies(name string) ([][]sched.Policy, error) {
 	switch strings.ToLower(name) {
 	case "rra":
 		return [][]sched.Policy{{sched.RRA}}, nil
 	case "waa":
 		return [][]sched.Policy{{sched.WAAC, sched.WAAM}}, nil
+	case "disagg":
+		return [][]sched.Policy{{sched.Disagg}}, nil
 	case "all", "":
 		return [][]sched.Policy{{sched.RRA}, {sched.WAAC, sched.WAAM}}, nil
 	}
-	return nil, fmt.Errorf("unknown policy set %q (want rra, waa or all)", name)
+	return nil, fmt.Errorf("unknown policy set %q (want rra, waa, disagg or all)", name)
 }
 
 // flattenPolicies merges policy groups into one search set.

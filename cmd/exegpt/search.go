@@ -23,7 +23,7 @@ func cmdSearch(args []string) error {
 	clusterName := fs.String("cluster", "", "cluster (A40 or A100; default: the model's Table 2 cluster)")
 	gpus := fs.Int("gpus", 0, "GPUs to deploy on (default: the model's Table 2 count)")
 	taskID := fs.String("task", "S", "task ID (S, T, G, C1, C2, wmt, alpaca, cnn)")
-	policySet := fs.String("policies", "all", "policy set: rra, waa or all")
+	policySet := fs.String("policies", "all", "policy set: rra, waa, disagg or all")
 	lbound := fs.Float64("lbound", 0, "latency bound in seconds (0 = unconstrained)")
 	lbounds := fs.String("lbounds", "",
 		"comma-separated latency bounds (e.g. 0.5,1,Inf): one amortized multi-bound search; overrides -lbound")

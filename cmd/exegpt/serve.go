@@ -21,7 +21,7 @@ func cmdServe(args []string) error {
 	clusterName := fs.String("cluster", "", "cluster (A40 or A100; default: the model's Table 2 cluster)")
 	gpus := fs.Int("gpus", 0, "GPUs to deploy on (default: the model's Table 2 count)")
 	taskID := fs.String("task", "S", "task ID (S, T, G, C1, C2, wmt, alpaca, cnn)")
-	policySet := fs.String("policies", "all", "policy set: rra, waa or all")
+	policySet := fs.String("policies", "all", "policy set: rra, waa, disagg or all")
 	arrival := fs.String("arrival", "poisson", "arrival process: poisson, mmpp, diurnal or step")
 	rate := fs.Float64("rate", 2, "mean arrival rate in requests/second")
 	duration := fs.Float64("duration", 300, "serving duration in virtual seconds (arrivals stop, then the backlog drains)")

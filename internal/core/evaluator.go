@@ -183,11 +183,8 @@ func (e *Evaluator) estimate(cfg sched.Config) (Estimate, error) {
 	if err := cfg.Validate(e.sim.Cluster.TotalGPUs()); err != nil {
 		return infeasible(cfg, err.Error()), nil
 	}
-	switch cfg.Policy {
-	case sched.RRA:
-		return e.estimateRRA(cfg)
-	case sched.WAAC, sched.WAAM:
-		return e.estimateWAA(cfg)
+	if fe, ok := familyEstimators[cfg.Policy]; ok {
+		return fe.fast(e, cfg)
 	}
 	return infeasible(cfg, "unknown policy"), nil
 }

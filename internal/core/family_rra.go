@@ -1,0 +1,13 @@
+// RRA family registration: the round-robin allocation's estimate paths
+// (Simulator.estimateRRA / Evaluator.estimateRRA) enter the per-family
+// dispatch here.
+package core
+
+import "exegpt/internal/sched"
+
+func init() {
+	registerEstimator(sched.RRA, familyEstimator{
+		ref:  (*Simulator).estimateRRA,
+		fast: (*Evaluator).estimateRRA,
+	})
+}

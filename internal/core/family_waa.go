@@ -1,0 +1,15 @@
+// WAA family registration: both workload-aware variants share one
+// estimate implementation (Simulator.estimateWAA / Evaluator.estimateWAA
+// branch on the split rule internally via sched.WAASplit).
+package core
+
+import "exegpt/internal/sched"
+
+func init() {
+	waa := familyEstimator{
+		ref:  (*Simulator).estimateWAA,
+		fast: (*Evaluator).estimateWAA,
+	}
+	registerEstimator(sched.WAAC, waa)
+	registerEstimator(sched.WAAM, waa)
+}

@@ -311,8 +311,8 @@ func (s *Scheduler) branches(policies []sched.Policy) []branch {
 	var out []branch
 	for _, policy := range policies {
 		for _, tp := range s.tpChoices() {
-			if policy.IsWAA() && tp.GPUs >= s.Sim.Cluster.TotalGPUs() {
-				continue // decode side cannot take every GPU
+			if !admitBranch(policy, tp, s.Sim.Cluster.TotalGPUs()) {
+				continue // e.g. a dedicated decode pool cannot take every GPU
 			}
 			out = append(out, branch{policy: policy, tp: tp})
 		}
@@ -579,14 +579,6 @@ func (s *Scheduler) tpChoices() []sched.TPSpec {
 		}
 	}
 	return choices
-}
-
-// axesFor returns the search axes for a policy.
-func (s *Scheduler) axesFor(policy sched.Policy) []Axis {
-	if policy == sched.RRA {
-		return []Axis{batchAxis("BD", s.MaxBatch), ndAxis(s.MaxND)}
-	}
-	return []Axis{batchAxis("BE", s.MaxBatch/4), bmAxis(s.MaxBm)}
 }
 
 // probeCorners evaluates one branch's initial block corners — phase 1

@@ -229,16 +229,14 @@ func (s *Simulator) kvBytes(tokens float64, layers, tp int) int64 {
 // construction.
 func (s *Simulator) capacity() int64 { return s.capBytes }
 
-// Estimate simulates the timeline of cfg and returns throughput/latency.
+// Estimate simulates the timeline of cfg and returns throughput/latency,
+// dispatching through the per-family estimator registry (family.go).
 func (s *Simulator) Estimate(cfg sched.Config) (Estimate, error) {
 	if err := cfg.Validate(s.Cluster.TotalGPUs()); err != nil {
 		return infeasible(cfg, err.Error()), nil
 	}
-	switch cfg.Policy {
-	case sched.RRA:
-		return s.estimateRRA(cfg)
-	case sched.WAAC, sched.WAAM:
-		return s.estimateWAA(cfg)
+	if fe, ok := familyEstimators[cfg.Policy]; ok {
+		return fe.ref(s, cfg)
 	}
 	return infeasible(cfg, "unknown policy"), nil
 }

@@ -156,14 +156,22 @@ func (c *Context) GridFingerprint(grid SweepGrid) (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
-// policyGroupName labels a policy group the way the figures do.
+// policyGroupName labels a policy group the way the figures do: the
+// family Group of its members, preferring a dedicated-pool family when
+// the group mixes (the figures fold RRA into the WAA comparison).
 func policyGroupName(ps []sched.Policy) string {
+	name := "ExeGPT-RRA"
 	for _, p := range ps {
-		if p.IsWAA() {
-			return "ExeGPT-WAA"
+		f, ok := sched.FamilyOf(p)
+		if !ok {
+			continue
 		}
+		if f.Caps.DedicatedPools {
+			return f.Group
+		}
+		name = f.Group
 	}
-	return "ExeGPT-RRA"
+	return name
 }
 
 // defaultPolicyGroups mirrors the figure comparisons: RRA alone and the

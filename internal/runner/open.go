@@ -64,8 +64,11 @@ type OpenRun struct {
 	// (the serving loop feeds windowed recorders from it).
 	OnComplete func(QueryRecord)
 
-	// WAA pipeline state (mirrors runWAA).
-	isWAA                bool
+	// drv is the execution driver the policy's family selected.
+	drv driver
+
+	// Dedicated-pool pipeline state (mirrors runWAA); populated by the
+	// pooled driver's openInit.
 	encStages, decStages []sched.Stage
 	bm                   int
 	inbox                []openArrival
@@ -104,20 +107,13 @@ func (e *Engine) Open(cfg sched.Config, alloc sched.Allocation, startAt float64)
 		parked:    true,
 	}
 	o.sim.MaxSteps = 500_000_000
-	if cfg.Policy.IsWAA() {
-		o.isWAA = true
-		o.encStages = alloc.EncStages()
-		o.decStages = alloc.DecStages()
-		if len(o.encStages) == 0 || len(o.decStages) == 0 {
-			return nil, fmt.Errorf("runner: WAA needs dedicated encode and decode stages")
-		}
-		o.bm = cfg.Bm
-		if o.bm > len(o.decStages) {
-			o.bm = len(o.decStages)
-		}
-		// Same in-flight bound as the batch engine: the encoder pipeline
-		// holds one batch per stage plus handover slack.
-		o.maxInflight = len(o.encStages) + 3
+	drv, err := driverFor(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	o.drv = drv
+	if err := drv.openInit(o); err != nil {
+		return nil, err
 	}
 	if startAt > 0 {
 		o.sim.RunUntil(startAt)
@@ -135,17 +131,17 @@ func (o *OpenRun) Err() error { return o.err }
 func (o *OpenRun) Config() sched.Config { return o.cfg }
 
 // Queued returns the number of arrived requests not yet admitted.
-func (o *OpenRun) Queued() int { return o.queue.len() }
+func (o *OpenRun) Queued() int { return o.queue.Len() }
 
 // QueueDepth returns all requests in the system: queued, encoded
 // in-flight (WAA handover), and actively decoding.
 func (o *OpenRun) QueueDepth() int {
-	return o.queue.len() + o.inflightReqs + len(o.active)
+	return o.queue.Len() + o.inflightReqs + len(o.active)
 }
 
 // Done reports whether no work remains anywhere in the engine.
 func (o *OpenRun) Done() bool {
-	return o.queue.len() == 0 && o.inflightReqs == 0 && len(o.active) == 0
+	return o.queue.Len() == 0 && o.inflightReqs == 0 && len(o.active) == 0
 }
 
 // Records returns the completions so far (Start is the arrival time).
@@ -191,11 +187,7 @@ func (o *OpenRun) applyArrival(req workload.Request, at float64) {
 	o.totalIn += int64(req.InLen)
 	if o.parked {
 		o.parked = false
-		if o.isWAA {
-			o.startEncode()
-		} else {
-			o.rraCycle()
-		}
+		o.drv.openWake(o)
 	}
 }
 
@@ -225,10 +217,10 @@ func (o *OpenRun) Drain() ([]Arrival, error) {
 	if o.err != nil {
 		return nil, o.err
 	}
-	leftover := make([]Arrival, 0, o.queue.len())
-	for o.queue.len() > 0 {
-		r := o.queue.peek(1)[0]
-		o.queue.advance(1)
+	leftover := make([]Arrival, 0, o.queue.Len())
+	for o.queue.Len() > 0 {
+		r := o.queue.Peek(1)[0]
+		o.queue.Advance(1)
 		leftover = append(leftover, Arrival{Req: r, At: o.arrivedAt[r.ID]})
 		delete(o.arrivedAt, r.ID)
 	}
@@ -237,7 +229,14 @@ func (o *OpenRun) Drain() ([]Arrival, error) {
 
 // hasEncodeWork reports whether the admission side may take requests.
 func (o *OpenRun) hasEncodeWork() bool {
-	return o.admitting && o.queue.len() > 0
+	return o.admitting && o.queue.Len() > 0
+}
+
+// takeBatch forms the next encode batch from the live queue through the
+// engine's batch-formation policy — the single admission call site both
+// drivers share (previously duplicated in rraCycle and startEncode).
+func (o *OpenRun) takeBatch() []workload.Request {
+	return o.eng.formation().Take(&o.queue, o.cfg.BE, o.meanIn(), len(o.active), o.cfg.BD)
 }
 
 // complete applies one decode iteration's survivors/completions at the
@@ -283,22 +282,19 @@ func (o *OpenRun) rraCycle() {
 	}
 	var encDur float64
 	if o.hasEncodeWork() {
-		batch := o.eng.takeEncodeBatch(&o.queue, o.cfg.BE, o.meanIn(), len(o.active), o.cfg.BD)
-		admitted, tokens := 0, 0
-		for i, r := range batch {
-			if err := admit(o.states, r.ID, o.eng.promptTokens(r)); err != nil {
-				o.queue.rewind(len(batch) - i)
-				break
-			}
-			o.active = append(o.active, &query{req: r, start: o.arrivedAt[r.ID]})
-			admitted++
-			tokens += r.InLen
+		batch := o.takeBatch()
+		admitted, tokens, deferred := o.eng.admitBatch(o.states, batch)
+		if deferred > 0 {
+			o.queue.Rewind(deferred)
 		}
-		if admitted == 0 && len(o.active) == 0 {
+		for _, r := range admitted {
+			o.active = append(o.active, &query{req: r, start: o.arrivedAt[r.ID]})
+		}
+		if len(admitted) == 0 && len(o.active) == 0 {
 			o.err = fmt.Errorf("runner: open RRA query %d does not fit in KV memory even on an idle system", batch[0].ID)
 			return
 		}
-		if admitted > 0 {
+		if len(admitted) > 0 {
 			microTokens := tokens / rraMicroBatches
 			if microTokens < 1 {
 				microTokens = 1
@@ -370,7 +366,7 @@ func (o *OpenRun) startEncode() {
 	if o.inflight >= o.maxInflight {
 		return
 	}
-	batch := o.eng.takeEncodeBatch(&o.queue, o.cfg.BE, o.meanIn(), len(o.active), o.cfg.BD)
+	batch := o.takeBatch()
 	tokens := 0
 	for _, r := range batch {
 		tokens += r.InLen
@@ -411,18 +407,19 @@ func (o *OpenRun) iterate() {
 	}
 	waiting := o.inbox[:0]
 	merged := false
+	sel := o.eng.victims()
+	tryAdmit := func(r workload.Request) error {
+		return admit(o.states, r.ID, o.eng.promptTokens(r))
+	}
 	for _, a := range o.inbox {
-		i := 0
-		for ; i < len(a.batch); i++ {
-			r := a.batch[i]
-			if err := admit(o.states, r.ID, o.eng.promptTokens(r)); err != nil {
-				break
-			}
+		admitted, deferred := sel.Admit(a.batch, tryAdmit)
+		for _, r := range admitted {
 			o.active = append(o.active, &query{req: r, start: o.arrivedAt[r.ID]})
 			o.inflightReqs--
 			merged = true
 		}
-		if i < len(a.batch) {
+		if deferred > 0 {
+			i := len(a.batch) - deferred
 			if len(o.active) == 0 {
 				o.err = fmt.Errorf("runner: open WAA query %d does not fit in KV memory even on an idle decoder", a.batch[i].ID)
 				return

@@ -53,6 +53,13 @@ type Engine struct {
 	// CompactFrac triggers KV compaction when fragmentation exceeds this
 	// fraction of live bytes.
 	CompactFrac float64
+	// Formation overrides the batch-formation policy; nil selects the
+	// §5.2 adaptive default (see policy.go).
+	Formation BatchFormation
+	// Victims overrides victim/admission selection; nil selects the
+	// FIFO defer-tail default (admit in order, the unadmitted tail
+	// yields).
+	Victims VictimSelector
 }
 
 // New returns an engine with paper-default runtime options.
@@ -294,7 +301,8 @@ func meanCtxOf(m model.Model, active []*query) float64 {
 	return float64(total) / float64(len(active))
 }
 
-// Run dispatches on the schedule's policy.
+// Run dispatches on the schedule's policy through the execution-driver
+// registry (driver.go).
 func (e *Engine) Run(cfg sched.Config, alloc sched.Allocation, reqs []workload.Request) (Result, error) {
 	if err := cfg.Validate(e.Cluster.TotalGPUs()); err != nil {
 		return Result{}, err
@@ -302,10 +310,11 @@ func (e *Engine) Run(cfg sched.Config, alloc sched.Allocation, reqs []workload.R
 	if len(reqs) == 0 {
 		return Result{}, fmt.Errorf("runner: no requests")
 	}
-	if cfg.Policy == sched.RRA {
-		return e.runRRA(cfg, alloc, reqs)
+	d, err := driverFor(cfg.Policy)
+	if err != nil {
+		return Result{}, err
 	}
-	return e.runWAA(cfg, alloc, reqs)
+	return d.runBatch(e, cfg, alloc, reqs)
 }
 
 // rraMicroBatches matches Figure 4(a)'s two interleaved mini-batches.
@@ -327,25 +336,25 @@ func newReqFIFO(reqs []workload.Request) reqFIFO {
 	return reqFIFO{items: append([]workload.Request(nil), reqs...)}
 }
 
-// len returns the number of queued requests.
-func (q *reqFIFO) len() int { return len(q.items) - q.head }
+// Len returns the number of queued requests.
+func (q *reqFIFO) Len() int { return len(q.items) - q.head }
 
-// peek returns the next n queued requests (fewer when the queue is
+// Peek returns the next n queued requests (fewer when the queue is
 // shorter) without consuming them.
-func (q *reqFIFO) peek(n int) []workload.Request {
-	if n > q.len() {
-		n = q.len()
+func (q *reqFIFO) Peek(n int) []workload.Request {
+	if n > q.Len() {
+		n = q.Len()
 	}
 	return q.items[q.head : q.head+n]
 }
 
-// advance consumes the first n queued requests.
-func (q *reqFIFO) advance(n int) { q.head += n }
+// Advance consumes the first n queued requests.
+func (q *reqFIFO) Advance(n int) { q.head += n }
 
-// rewind un-consumes the last n consumed requests; they return to the
+// Rewind un-consumes the last n consumed requests; they return to the
 // queue front in their original order (they are still contiguous in
 // the backing array).
-func (q *reqFIFO) rewind(n int) { q.head -= n }
+func (q *reqFIFO) Rewind(n int) { q.head -= n }
 
 // push appends a newly arrived request to the queue tail (open-loop
 // runs grow the queue incrementally instead of pre-drawing it). When
@@ -359,43 +368,6 @@ func (q *reqFIFO) push(r workload.Request) {
 		q.head = 0
 	}
 	q.items = append(q.items, r)
-}
-
-// takeEncodeBatch pops the next encode batch under dynamic workload
-// adjustment (§5.2): the number taken starts from want and is adjusted
-// so that (a) the summed input length stays within Theta of the average
-// workload and (b) the decoder batch is pulled back toward targetBD.
-func (e *Engine) takeEncodeBatch(pending *reqFIFO, want int, meanIn float64, activeNow, targetBD int) []workload.Request {
-	if want < 1 {
-		want = 1
-	}
-	take := want
-	if e.DynamicAdjust {
-		// Decoder under/over target: top up or back off (§5.2).
-		deficit := targetBD - activeNow
-		if deficit > 0 {
-			take = max(take, min(deficit, take*2))
-		} else if float64(activeNow) > float64(targetBD)*(1+e.Theta) {
-			take = max(1, take/2)
-		}
-	}
-	batch := pending.peek(take)
-	if e.DynamicAdjust && len(batch) > 1 {
-		// Trim so the encoder token workload stays within the threshold.
-		budget := float64(want) * meanIn * (1 + e.Theta)
-		tokens := 0
-		cut := len(batch)
-		for i, r := range batch {
-			if float64(tokens+r.InLen) > budget && i > 0 {
-				cut = i
-				break
-			}
-			tokens += r.InLen
-		}
-		batch = batch[:cut]
-	}
-	pending.advance(len(batch))
-	return batch
 }
 
 // runRRA executes the synchronized encode/decode phase loop.
@@ -421,21 +393,15 @@ func (e *Engine) runRRA(cfg sched.Config, alloc sched.Allocation, reqs []workloa
 	}
 	var decSamples []decSample
 
-	for pending.len() > 0 || len(active) > 0 {
+	for pending.Len() > 0 || len(active) > 0 {
 		// Encoding phase (skipped while draining).
-		if pending.len() > 0 {
-			batch := e.takeEncodeBatch(&pending, cfg.BE, meanIn, len(active), cfg.BD)
-			var admitted []workload.Request
-			tokens := 0
-			for i, r := range batch {
-				if err := admit(states, r.ID, e.promptTokens(r)); err != nil {
-					// Out of memory: rewind the unadmitted remainder onto
-					// the queue front and proceed with what fits.
-					pending.rewind(len(batch) - i)
-					break
-				}
-				admitted = append(admitted, r)
-				tokens += r.InLen
+		if pending.Len() > 0 {
+			batch := e.formation().Take(&pending, cfg.BE, meanIn, len(active), cfg.BD)
+			admitted, tokens, deferred := e.admitBatch(states, batch)
+			if deferred > 0 {
+				// Out of memory: rewind the deferred victims onto the
+				// queue front and proceed with what fits.
+				pending.Rewind(deferred)
 			}
 			if len(admitted) == 0 && len(active) == 0 {
 				return Result{}, fmt.Errorf("runner: query %d does not fit in KV memory even on an idle system", batch[0].ID)
@@ -453,7 +419,7 @@ func (e *Engine) runRRA(cfg sched.Config, alloc sched.Allocation, reqs []workloa
 				}
 				// Stage-time variance (Table 7) is a steady-state
 				// property: skip the drain tail where batches shrink.
-				if pending.len() > 0 {
+				if pending.Len() > 0 {
 					for _, t := range times {
 						res.EncStage.Add(t)
 					}
@@ -479,7 +445,7 @@ func (e *Engine) runRRA(cfg sched.Config, alloc sched.Allocation, reqs []workloa
 			// Stage-time variance (Table 7) is a steady-state property:
 			// skip the drain tail now and the ramp-up in the post-pass
 			// below (the achieved steady batch is only known at the end).
-			if pending.len() > 0 {
+			if pending.Len() > 0 {
 				decSamples = append(decSamples, decSample{
 					active: len(active),
 					times:  append([]float64(nil), times...),
@@ -591,7 +557,7 @@ func (e *Engine) runWAA(cfg sched.Config, alloc sched.Allocation, reqs []workloa
 		if runErr != nil {
 			return
 		}
-		if pending.len() == 0 {
+		if pending.Len() == 0 {
 			encDone = true
 			if !decoding {
 				iterate()
@@ -603,7 +569,7 @@ func (e *Engine) runWAA(cfg sched.Config, alloc sched.Allocation, reqs []workloa
 			// decoder restarts it.
 			return
 		}
-		batch := e.takeEncodeBatch(&pending, cfg.BE, meanIn, len(active), cfg.BD)
+		batch := e.formation().Take(&pending, cfg.BE, meanIn, len(active), cfg.BD)
 		tokens := 0
 		for _, r := range batch {
 			tokens += r.InLen
@@ -650,17 +616,18 @@ func (e *Engine) runWAA(cfg sched.Config, alloc sched.Allocation, reqs []workloa
 		// copies queued requests.
 		waiting := inbox[:0]
 		merged := false
+		sel := e.victims()
+		tryAdmit := func(r workload.Request) error {
+			return admit(states, r.ID, e.promptTokens(r))
+		}
 		for _, a := range inbox {
-			i := 0
-			for ; i < len(a.batch); i++ {
-				r := a.batch[i]
-				if err := admit(states, r.ID, e.promptTokens(r)); err != nil {
-					break
-				}
+			admitted, deferred := sel.Admit(a.batch, tryAdmit)
+			for _, r := range admitted {
 				active = append(active, &query{req: r, start: a.start})
 				merged = true
 			}
-			if i < len(a.batch) {
+			if deferred > 0 {
+				i := len(a.batch) - deferred
 				if len(active) == 0 {
 					runErr = fmt.Errorf("runner: WAA query %d does not fit in KV memory even on an idle decoder", a.batch[i].ID)
 					return

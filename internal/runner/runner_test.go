@@ -324,23 +324,23 @@ func BenchmarkRunRRA(b *testing.B) {
 func TestReqFIFO(t *testing.T) {
 	reqs := requests(t, workload.Summarization, 10, 47)
 	q := newReqFIFO(reqs)
-	if q.len() != 10 {
-		t.Fatalf("len = %d, want 10", q.len())
+	if q.Len() != 10 {
+		t.Fatalf("len = %d, want 10", q.Len())
 	}
-	first := q.peek(4)
+	first := q.Peek(4)
 	if len(first) != 4 || first[0].ID != reqs[0].ID {
 		t.Fatalf("peek returned %v", first)
 	}
-	q.advance(4)
+	q.Advance(4)
 	// Admission failed after 1 of the 4: rewind the other 3.
-	q.rewind(3)
-	if q.len() != 9 {
-		t.Fatalf("len after rewind = %d, want 9", q.len())
+	q.Rewind(3)
+	if q.Len() != 9 {
+		t.Fatalf("len after rewind = %d, want 9", q.Len())
 	}
 	var got []int
-	for q.len() > 0 {
-		b := q.peek(3)
-		q.advance(len(b))
+	for q.Len() > 0 {
+		b := q.Peek(3)
+		q.Advance(len(b))
 		for _, r := range b {
 			got = append(got, r.ID)
 		}
@@ -352,7 +352,7 @@ func TestReqFIFO(t *testing.T) {
 	}
 	// Oversized peek clamps.
 	q2 := newReqFIFO(reqs[:2])
-	if len(q2.peek(100)) != 2 {
+	if len(q2.Peek(100)) != 2 {
 		t.Fatal("peek must clamp to queue length")
 	}
 }

@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestPolicyRoundTrip pins the name round-trip for every registered
+// family: String renders the registry name and ParsePolicy inverts it,
+// in any case, along with the legacy spellings.
+func TestPolicyRoundTrip(t *testing.T) {
+	fams := Families()
+	if len(fams) == 0 {
+		t.Fatal("no registered families")
+	}
+	for _, f := range fams {
+		if got := f.Policy.String(); got != f.Name {
+			t.Errorf("%v.String() = %q, want %q", int(f.Policy), got, f.Name)
+		}
+		for _, s := range []string{f.Name, strings.ToLower(f.Name), strings.ToUpper(f.Name)} {
+			p, err := ParsePolicy(s)
+			if err != nil || p != f.Policy {
+				t.Errorf("ParsePolicy(%q) = %v, %v; want %v", s, p, err, f.Policy)
+			}
+		}
+		for _, s := range []string{strconv.Itoa(int(f.Policy)), fmt.Sprintf("Policy(%d)", int(f.Policy))} {
+			p, err := ParsePolicy(s)
+			if err != nil || p != f.Policy {
+				t.Errorf("ParsePolicy(%q) = %v, %v; want %v", s, p, err, f.Policy)
+			}
+		}
+	}
+	if _, err := ParsePolicy("no-such-family"); err == nil {
+		t.Error("unknown name should not parse")
+	}
+	if p, err := ParsePolicy("2"); err != nil || p != WAAM {
+		t.Errorf("integer spelling = %v, %v; want %v", p, err, WAAM)
+	}
+}
+
+// TestPolicyJSON pins the JSON encoding: names on encode, names or
+// legacy integers on decode, rejection of junk.
+func TestPolicyJSON(t *testing.T) {
+	for _, f := range Families() {
+		data, err := json.Marshal(f.Policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := `"` + f.Name + `"`; string(data) != want {
+			t.Errorf("Marshal(%v) = %s, want %s", f.Policy, data, want)
+		}
+		var back Policy
+		if err := json.Unmarshal(data, &back); err != nil || back != f.Policy {
+			t.Errorf("Unmarshal(%s) = %v, %v", data, back, err)
+		}
+		var legacy Policy
+		if err := json.Unmarshal([]byte(strconv.Itoa(int(f.Policy))), &legacy); err != nil || legacy != f.Policy {
+			t.Errorf("legacy Unmarshal(%d) = %v, %v", int(f.Policy), legacy, err)
+		}
+	}
+	var p Policy
+	if err := json.Unmarshal([]byte(`"bogus"`), &p); err == nil {
+		t.Error("junk name should fail to decode")
+	}
+	if err := json.Unmarshal([]byte(`{}`), &p); err == nil {
+		t.Error("non-scalar should fail to decode")
+	}
+	// A config embedding a policy round-trips through the name form.
+	cfg := Config{Policy: WAAM, BE: 2, BD: 64, Bm: 2, TP: TPSpec{Degree: 1}}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"WAA-M"`) {
+		t.Errorf("config JSON %s does not use the name encoding", data)
+	}
+	var got Config
+	if err := json.Unmarshal(data, &got); err != nil || got != cfg {
+		t.Errorf("config round-trip = %+v, %v", got, err)
+	}
+}
+
+// TestRegisterContracts pins the registration programming contract:
+// duplicates and incomplete families panic.
+func TestRegisterContracts(t *testing.T) {
+	mustPanic := func(name string, f Family) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		Register(f)
+	}
+	ok := func(c Config, n int) error { return nil }
+	admit := func(tp TPSpec, n int) bool { return true }
+	mustPanic("duplicate policy", Family{Policy: RRA, Name: "RRA-2", Validate: ok, AdmitTP: admit,
+		Allocate: families[RRA].Allocate})
+	mustPanic("duplicate name", Family{Policy: Policy(99), Name: "RRA", Validate: ok, AdmitTP: admit,
+		Allocate: families[RRA].Allocate})
+	mustPanic("incomplete", Family{Policy: Policy(99), Name: "HOLLOW"})
+}

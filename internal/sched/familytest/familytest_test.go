@@ -1,0 +1,41 @@
+package familytest
+
+import (
+	"testing"
+
+	"exegpt/internal/sched"
+)
+
+// TestFamilies runs the conformance suite for every registered family
+// — the acceptance gate for adding a policy: register in sched, wire
+// both estimate paths in core, and this test picks it up by name.
+func TestFamilies(t *testing.T) {
+	fams := sched.Families()
+	if len(fams) < 4 {
+		t.Fatalf("expected at least 4 registered families, got %d", len(fams))
+	}
+	for _, f := range fams {
+		t.Run(f.Name, func(t *testing.T) { Run(t, f) })
+	}
+}
+
+// TestDefaultPoliciesExcludeExperimental pins the default search set to
+// the paper's three families; experimental families are opt-in only.
+func TestDefaultPoliciesExcludeExperimental(t *testing.T) {
+	defaults := sched.DefaultPolicies()
+	want := []sched.Policy{sched.RRA, sched.WAAC, sched.WAAM}
+	if len(defaults) != len(want) {
+		t.Fatalf("DefaultPolicies = %v, want %v", defaults, want)
+	}
+	for i, p := range want {
+		if defaults[i] != p {
+			t.Fatalf("DefaultPolicies = %v, want %v", defaults, want)
+		}
+	}
+	for _, p := range defaults {
+		f, ok := sched.FamilyOf(p)
+		if !ok || f.Caps.Experimental {
+			t.Fatalf("default policy %v missing or experimental", p)
+		}
+	}
+}

@@ -26,20 +26,18 @@ const (
 	WAAM
 )
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer, rendering the registered family name.
 func (p Policy) String() string {
-	switch p {
-	case RRA:
-		return "RRA"
-	case WAAC:
-		return "WAA-C"
-	case WAAM:
-		return "WAA-M"
+	if f, ok := families[p]; ok {
+		return f.Name
 	}
 	return fmt.Sprintf("Policy(%d)", int(p))
 }
 
-// IsWAA reports whether the policy is a workload-aware allocation.
+// IsWAA reports whether the policy is one of the paper's workload-aware
+// allocations. Capability checks belong on Family.Caps (DedicatedPools
+// is what most former IsWAA call sites actually meant); this remains
+// only for the WAA split rule itself.
 func (p Policy) IsWAA() bool { return p == WAAC || p == WAAM }
 
 // TPSpec is the partial tensor-parallelism control variable: TP of the
@@ -100,32 +98,20 @@ func (c Config) Validate(totalGPUs int) error {
 	if c.BE < 1 || c.BD < 1 {
 		return fmt.Errorf("sched: batch sizes must be >= 1, got BE=%d BD=%d", c.BE, c.BD)
 	}
-	switch {
-	case c.Policy == RRA:
-		if c.ND < 1 {
-			return fmt.Errorf("sched: RRA requires ND >= 1, got %d", c.ND)
-		}
-	case c.Policy.IsWAA():
-		if c.Bm < 1 {
-			return fmt.Errorf("sched: WAA requires Bm >= 1, got %d", c.Bm)
-		}
-		if totalGPUs < 2 {
-			return fmt.Errorf("sched: WAA requires at least 2 GPUs (dedicated encode and decode)")
-		}
-	default:
+	f, ok := FamilyOf(c.Policy)
+	if !ok {
 		return fmt.Errorf("sched: unknown policy %v", c.Policy)
 	}
-	return nil
+	return f.Validate(c, totalGPUs)
 }
 
-// String renders the schedule like the paper's Table 6 rows.
+// String renders the schedule like the paper's Table 6 rows: families
+// that schedule by encoding frequency show ND, the rest show Bm.
 func (c Config) String() string {
-	switch {
-	case c.Policy == RRA:
-		return fmt.Sprintf("RRA{BE=%d BD=%d ND=%d TP=%dx%d}", c.BE, c.BD, c.ND, c.TP.Degree, c.TP.GPUs)
-	default:
-		return fmt.Sprintf("%s{BE=%d BD=%d Bm=%d TP=%dx%d}", c.Policy, c.BE, c.BD, c.Bm, c.TP.Degree, c.TP.GPUs)
+	if f, ok := FamilyOf(c.Policy); ok && f.Caps.UsesND && !f.Caps.UsesBm {
+		return fmt.Sprintf("%s{BE=%d BD=%d ND=%d TP=%dx%d}", c.Policy, c.BE, c.BD, c.ND, c.TP.Degree, c.TP.GPUs)
 	}
+	return fmt.Sprintf("%s{BE=%d BD=%d Bm=%d TP=%dx%d}", c.Policy, c.BE, c.BD, c.Bm, c.TP.Degree, c.TP.GPUs)
 }
 
 // Role describes what a pipeline stage executes.
@@ -308,6 +294,13 @@ func AllocateWAA(m model.Model, cluster hw.Cluster, policy Policy, encGPUs, decG
 	if !policy.IsWAA() {
 		return Allocation{}, fmt.Errorf("sched: %v is not a WAA policy", policy)
 	}
+	return allocatePools(m, cluster, policy, encGPUs, decGPUs, tp)
+}
+
+// allocatePools lays out the dedicated-pool allocation shared by every
+// DedicatedPools family: encGPUs encoding stages followed by decGPUs
+// decoding stages, TP applied to the decode pipeline.
+func allocatePools(m model.Model, cluster hw.Cluster, policy Policy, encGPUs, decGPUs int, tp TPSpec) (Allocation, error) {
 	n := cluster.TotalGPUs()
 	if encGPUs < 1 || decGPUs < 1 || encGPUs+decGPUs != n {
 		return Allocation{}, fmt.Errorf("sched: WAA split %d+%d must cover %d GPUs", encGPUs, decGPUs, n)
